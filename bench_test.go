@@ -1,0 +1,384 @@
+// Benchmarks regenerating the paper's evaluation (§5) and the ablations
+// called out in DESIGN.md. Each Benchmark maps to one experiment:
+//
+//	E1  BenchmarkJoinPlain / BenchmarkJoinSecure   — §5 join overhead (≈81.76% in the paper)
+//	F2  BenchmarkMsgPeerPlain / BenchmarkMsgPeerSecure — Figure 2 (overhead vs size)
+//	A1  BenchmarkJoinSecureKeySize                 — RSA modulus ablation
+//	A2  BenchmarkEnvelopeMode                      — envelope mode ablation
+//	A3  BenchmarkMsgPeerGroupSecure                — group fan-out ablation
+//	A4  BenchmarkSignedAdvertisement               — signed-advertisement pipeline
+//
+// The cmd/benchjoin and cmd/benchmsg binaries print the same experiments
+// as paper-style tables with modeled wire time; the benchmarks here
+// report raw compute cost per operation.
+package jxtaoverlay_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"jxtaoverlay/internal/advert"
+	"jxtaoverlay/internal/bench"
+	"jxtaoverlay/internal/core"
+	"jxtaoverlay/internal/events"
+	"jxtaoverlay/internal/keys"
+	"jxtaoverlay/internal/xdsig"
+)
+
+func newEnv(b *testing.B, opts ...bench.EnvOption) *bench.Env {
+	b.Helper()
+	env, err := bench.NewEnv(opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(env.Close)
+	return env
+}
+
+// --- E1: network join ---
+
+func BenchmarkJoinPlain(b *testing.B) {
+	env := newEnv(b)
+	alias, password, err := env.AddUser()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl, err := env.PlainClient(alias)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cl.Connect(ctx, env.Broker.PeerID()); err != nil {
+			b.Fatal(err)
+		}
+		if err := cl.Login(ctx, password); err != nil {
+			b.Fatal(err)
+		}
+		if err := cl.Logout(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJoinSecure(b *testing.B) {
+	env := newEnv(b)
+	alias, password, err := env.AddUser()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc, err := env.SecureClient(alias, core.ModeFull)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sc.Close()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sc.SecureConnection(ctx, env.Broker.PeerID()); err != nil {
+			b.Fatal(err)
+		}
+		if err := sc.SecureLogin(ctx, password); err != nil {
+			b.Fatal(err)
+		}
+		if err := sc.Logout(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- A1: key-size ablation on the secure join ---
+
+func BenchmarkJoinSecureKeySize(b *testing.B) {
+	for _, bits := range []int{1024, 2048} {
+		b.Run(fmt.Sprintf("rsa%d", bits), func(b *testing.B) {
+			env := newEnv(b, bench.WithKeyBits(bits))
+			alias, password, err := env.AddUser()
+			if err != nil {
+				b.Fatal(err)
+			}
+			sc, err := env.SecureClient(alias, core.ModeFull)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sc.Close()
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := sc.SecureConnection(ctx, env.Broker.PeerID()); err != nil {
+					b.Fatal(err)
+				}
+				if err := sc.SecureLogin(ctx, password); err != nil {
+					b.Fatal(err)
+				}
+				if err := sc.Logout(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- F2: message overhead vs size ---
+
+var f2Sizes = []int{16, 256, 4096, 65536, 1 << 20}
+
+type msgBenchPair struct {
+	sendPlain  func(text string) error
+	sendSecure func(text string) error
+	waitPlain  chan struct{}
+	waitSecure chan struct{}
+}
+
+func newMsgBenchPair(b *testing.B, env *bench.Env, mode core.Mode) *msgBenchPair {
+	b.Helper()
+	ctx := context.Background()
+	mk := func() (alias, pw string) {
+		alias, pw, err := env.AddUser()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return alias, pw
+	}
+	aliasA, pwA := mk()
+	aliasB, pwB := mk()
+	pa, err := env.PlainClient(aliasA)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(pa.Close)
+	pb, err := env.PlainClient(aliasB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(pb.Close)
+	must := func(err error) {
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	must(pa.Connect(ctx, env.Broker.PeerID()))
+	must(pa.Login(ctx, pwA))
+	must(pb.Connect(ctx, env.Broker.PeerID()))
+	must(pb.Login(ctx, pwB))
+
+	aliasC, pwC := mk()
+	aliasD, pwD := mk()
+	sa, err := env.SecureClient(aliasC, mode)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(sa.Close)
+	sb, err := env.SecureClient(aliasD, mode)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(sb.Close)
+	must(sa.SecureConnection(ctx, env.Broker.PeerID()))
+	must(sa.SecureLogin(ctx, pwC))
+	must(sb.SecureConnection(ctx, env.Broker.PeerID()))
+	must(sb.SecureLogin(ctx, pwD))
+
+	p := &msgBenchPair{
+		waitPlain:  make(chan struct{}, 64),
+		waitSecure: make(chan struct{}, 64),
+	}
+	pb.Bus().Subscribe(events.MessageReceived, func(events.Event) { p.waitPlain <- struct{}{} })
+	sb.Bus().Subscribe(events.SecureMessage, func(events.Event) { p.waitSecure <- struct{}{} })
+	p.sendPlain = func(text string) error {
+		if err := pa.SendMsgPeer(ctx, pb.PeerID(), "bench", text); err != nil {
+			return err
+		}
+		<-p.waitPlain
+		return nil
+	}
+	p.sendSecure = func(text string) error {
+		if err := sa.SecureMsgPeer(ctx, sb.PeerID(), "bench", text); err != nil {
+			return err
+		}
+		<-p.waitSecure
+		return nil
+	}
+	// Warm both paths (pipe resolution).
+	must(p.sendPlain("warm"))
+	must(p.sendSecure("warm"))
+	return p
+}
+
+func benchPayload(size int) string {
+	buf := make([]byte, size)
+	for i := range buf {
+		buf[i] = byte('a' + i%26)
+	}
+	return string(buf)
+}
+
+func BenchmarkMsgPeerPlain(b *testing.B) {
+	env := newEnv(b)
+	pair := newMsgBenchPair(b, env, core.ModeFull)
+	for _, size := range f2Sizes {
+		text := benchPayload(size)
+		b.Run(fmt.Sprintf("size%d", size), func(b *testing.B) {
+			b.SetBytes(int64(size))
+			for i := 0; i < b.N; i++ {
+				if err := pair.sendPlain(text); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMsgPeerSecure(b *testing.B) {
+	env := newEnv(b)
+	pair := newMsgBenchPair(b, env, core.ModeFull)
+	for _, size := range f2Sizes {
+		text := benchPayload(size)
+		b.Run(fmt.Sprintf("size%d", size), func(b *testing.B) {
+			b.SetBytes(int64(size))
+			for i := 0; i < b.N; i++ {
+				if err := pair.sendSecure(text); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- A2: envelope mode ablation (pure crypto path, no network) ---
+
+func BenchmarkEnvelopeMode(b *testing.B) {
+	sender, err := keys.NewKeyPair()
+	if err != nil {
+		b.Fatal(err)
+	}
+	recv, err := keys.NewKeyPair()
+	if err != nil {
+		b.Fatal(err)
+	}
+	body := []byte(benchPayload(4096))
+	for _, mode := range []core.Mode{core.ModeFull, core.ModeSign, core.ModeEncrypt} {
+		b.Run(mode.String(), func(b *testing.B) {
+			b.SetBytes(4096)
+			for i := 0; i < b.N; i++ {
+				sealed, err := core.Seal(sealSigner(sender, mode), "urn:jxta:cbid-s", "g", body, recv.Public(), mode)
+				if err != nil {
+					b.Fatal(err)
+				}
+				opened, err := core.Open(recv, sealed.Bytes())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if opened.Signed() {
+					if err := opened.VerifySignature(sender.Public()); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+func sealSigner(kp *keys.KeyPair, mode core.Mode) *keys.KeyPair {
+	if mode == core.ModeEncrypt {
+		return nil
+	}
+	return kp
+}
+
+// --- A3: group fan-out ---
+
+func BenchmarkMsgPeerGroupSecure(b *testing.B) {
+	env := newEnv(b)
+	ctx := context.Background()
+	for _, size := range []int{2, 4, 8} {
+		group := fmt.Sprintf("bench-fan%d", size)
+		var sender *core.SecureClient
+		for i := 0; i < size; i++ {
+			alias, pw, err := env.AddUser(group)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sc, err := env.SecureClient(alias, core.ModeFull)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(sc.Close)
+			if err := sc.SecureConnection(ctx, env.Broker.PeerID()); err != nil {
+				b.Fatal(err)
+			}
+			if err := sc.SecureLogin(ctx, pw); err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				sender = sc
+			}
+		}
+		b.Run(fmt.Sprintf("members%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sender.SecureMsgPeerGroup(ctx, group, "fanout"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- A4: signed advertisement pipeline ---
+
+func BenchmarkSignedAdvertisement(b *testing.B) {
+	env := newEnv(b)
+	trust, err := env.TrustStore()
+	if err != nil {
+		b.Fatal(err)
+	}
+	kp, err := keys.NewKeyPair()
+	if err != nil {
+		b.Fatal(err)
+	}
+	id, err := keys.CBID(kp.Public())
+	if err != nil {
+		b.Fatal(err)
+	}
+	clientCred, err := env.Sec.IssueClientCredential(id, "bench-signer", kp.Public())
+	if err != nil {
+		b.Fatal(err)
+	}
+	brokerCred := env.Sec.Credential()
+	pipeAdv := &advert.Pipe{
+		PipeID:   "urn:jxta:pipe-bench",
+		PipeType: advert.PipeUnicast,
+		PeerID:   id,
+		Group:    "bench",
+	}
+	b.Run("sign", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			doc, err := pipeAdv.Document()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := xdsig.Sign(doc, kp, clientCred, brokerCred); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	doc, err := pipeAdv.Document()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := xdsig.Sign(doc, kp, clientCred, brokerCred); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("verify", func(b *testing.B) {
+		now := time.Now()
+		for i := 0; i < b.N; i++ {
+			if _, err := xdsig.VerifyTrusted(doc, trust, now); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

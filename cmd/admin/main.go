@@ -1,0 +1,196 @@
+// Command admin is the JXTA-Overlay administrator tool (paper §4.1): it
+// generates the deployment's cryptographic material and manages the
+// central database's user records on disk.
+//
+// Subcommands:
+//
+//	admin init    -dir deploy/                      generate admin key + anchor credential
+//	admin broker  -dir deploy/ -name broker-1       issue a broker key + credential
+//	admin adduser -dir deploy/ -user alice -pass pw -groups math,art
+//	admin users   -dir deploy/                      list registered users
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"jxtaoverlay/internal/core"
+	"jxtaoverlay/internal/keys"
+	"jxtaoverlay/internal/userdb"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "init":
+		err = cmdInit(os.Args[2:])
+	case "broker":
+		err = cmdBroker(os.Args[2:])
+	case "adduser":
+		err = cmdAddUser(os.Args[2:])
+	case "users":
+		err = cmdUsers(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "admin:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: admin <init|broker|adduser|users> [flags]
+  init    -dir DIR [-name admin] [-bits 1024]
+  broker  -dir DIR -name NAME [-validity 8760h]
+  adduser -dir DIR -user USER -pass PASS [-groups g1,g2]
+  users   -dir DIR`)
+	os.Exit(2)
+}
+
+const (
+	adminKeyFile = "admin.key.pem"
+	usersFile    = "users.json"
+)
+
+func cmdInit(args []string) error {
+	fs := flag.NewFlagSet("init", flag.ExitOnError)
+	dir := fs.String("dir", "deploy", "deployment directory")
+	name := fs.String("name", "admin", "administrator name")
+	bits := fs.Int("bits", keys.DefaultRSABits, "RSA modulus size")
+	fs.Parse(args)
+
+	if err := os.MkdirAll(*dir, 0o700); err != nil {
+		return err
+	}
+	kp, err := keys.KeyPairBits(*bits)
+	if err != nil {
+		return err
+	}
+	pemBytes, err := kp.MarshalPEM()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(*dir, adminKeyFile), pemBytes, 0o600); err != nil {
+		return err
+	}
+	dep, err := core.NewDeploymentFromKey(kp, *name)
+	if err != nil {
+		return err
+	}
+	anchorDoc, err := dep.Anchor().Document()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(*dir, "anchor.cred.xml"), anchorDoc.Canonical(), 0o644); err != nil {
+		return err
+	}
+	db := userdb.NewStore()
+	if err := db.SaveFile(filepath.Join(*dir, usersFile)); err != nil {
+		return err
+	}
+	fmt.Printf("deployment initialized in %s (admin id %s)\n", *dir, dep.AdminID())
+	return nil
+}
+
+func loadDeployment(dir string) (*core.Deployment, error) {
+	pemBytes, err := os.ReadFile(filepath.Join(dir, adminKeyFile))
+	if err != nil {
+		return nil, fmt.Errorf("read admin key (run 'admin init' first): %w", err)
+	}
+	kp, err := keys.ParseKeyPairPEM(pemBytes)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewDeploymentFromKey(kp, "admin")
+}
+
+func cmdBroker(args []string) error {
+	fs := flag.NewFlagSet("broker", flag.ExitOnError)
+	dir := fs.String("dir", "deploy", "deployment directory")
+	name := fs.String("name", "", "broker deployment name")
+	validity := fs.Duration("validity", 365*24*time.Hour, "credential validity")
+	fs.Parse(args)
+	if *name == "" {
+		return fmt.Errorf("broker: -name is required")
+	}
+	dep, err := loadDeployment(*dir)
+	if err != nil {
+		return err
+	}
+	kp, err := keys.NewKeyPair()
+	if err != nil {
+		return err
+	}
+	crd, err := dep.IssueBrokerCredential(kp.Public(), *name, *validity)
+	if err != nil {
+		return err
+	}
+	pemBytes, err := kp.MarshalPEM()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(*dir, *name+".key.pem"), pemBytes, 0o600); err != nil {
+		return err
+	}
+	credDoc, err := crd.Document()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(*dir, *name+".cred.xml"), credDoc.Canonical(), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("broker %q credentialed (id %s, valid until %s)\n", *name, crd.Subject, crd.NotAfter.Format(time.RFC3339))
+	return nil
+}
+
+func cmdAddUser(args []string) error {
+	fs := flag.NewFlagSet("adduser", flag.ExitOnError)
+	dir := fs.String("dir", "deploy", "deployment directory")
+	user := fs.String("user", "", "username")
+	pass := fs.String("pass", "", "password")
+	groups := fs.String("groups", "", "comma-separated groups")
+	fs.Parse(args)
+	if *user == "" || *pass == "" {
+		return fmt.Errorf("adduser: -user and -pass are required")
+	}
+	db := userdb.NewStore()
+	path := filepath.Join(*dir, usersFile)
+	if err := db.LoadFile(path); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	var groupList []string
+	if *groups != "" {
+		groupList = strings.Split(*groups, ",")
+	}
+	if err := db.Register(*user, *pass, groupList...); err != nil {
+		return err
+	}
+	if err := db.SaveFile(path); err != nil {
+		return err
+	}
+	fmt.Printf("user %q registered (groups %v)\n", *user, groupList)
+	return nil
+}
+
+func cmdUsers(args []string) error {
+	fs := flag.NewFlagSet("users", flag.ExitOnError)
+	dir := fs.String("dir", "deploy", "deployment directory")
+	fs.Parse(args)
+	db := userdb.NewStore()
+	if err := db.LoadFile(filepath.Join(*dir, usersFile)); err != nil {
+		return err
+	}
+	for _, name := range db.Usernames() {
+		groups, _ := db.Groups(name)
+		fmt.Printf("%-16s groups=%v\n", name, groups)
+	}
+	return nil
+}

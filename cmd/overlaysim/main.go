@@ -1,0 +1,245 @@
+// Command overlaysim runs a complete JXTA-Overlay network in one
+// process: an administrator deployment, a broker, the central user
+// database, and a population of client peers that join, exchange
+// messages, share files and publish statistics. Every event is logged,
+// so the tool doubles as a smoke test of the whole stack.
+//
+// Usage:
+//
+//	overlaysim [-clients 6] [-secure] [-profile lan] [-messages 3] [-v]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"jxtaoverlay/internal/bench"
+	"jxtaoverlay/internal/broker"
+	"jxtaoverlay/internal/client"
+	"jxtaoverlay/internal/core"
+	"jxtaoverlay/internal/events"
+	"jxtaoverlay/internal/filesvc"
+	"jxtaoverlay/internal/keys"
+	"jxtaoverlay/internal/membership"
+	"jxtaoverlay/internal/simnet"
+	"jxtaoverlay/internal/userdb"
+)
+
+func main() {
+	nClients := flag.Int("clients", 6, "number of client peers")
+	secure := flag.Bool("secure", false, "use the secure primitives")
+	profileName := flag.String("profile", "lan", "link profile: local, lan, wan")
+	messages := flag.Int("messages", 3, "group messages per client")
+	verbose := flag.Bool("v", false, "log every event")
+	flag.Parse()
+
+	if err := run(*nClients, *secure, *profileName, *messages, *verbose); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(nClients int, secure bool, profileName string, messages int, verbose bool) error {
+	profile, err := bench.ProfileByName(profileName)
+	if err != nil {
+		return err
+	}
+	net := simnet.NewNetwork(profile)
+	defer net.Close()
+
+	dep, err := core.NewDeployment("sim-admin", 0)
+	if err != nil {
+		return err
+	}
+	db := userdb.NewStoreIter(128)
+	for i := 0; i < nClients; i++ {
+		group := "team-a"
+		if i%2 == 1 {
+			group = "team-b"
+		}
+		if err := db.Register(user(i), pw(i), group, "plenary"); err != nil {
+			return err
+		}
+	}
+
+	brKP, err := keys.NewKeyPair()
+	if err != nil {
+		return err
+	}
+	brCred, err := dep.IssueBrokerCredential(brKP.Public(), "sim-broker", 24*time.Hour)
+	if err != nil {
+		return err
+	}
+	trust, err := dep.TrustStore()
+	if err != nil {
+		return err
+	}
+	br, err := broker.New(broker.Config{
+		Name:   "sim-broker",
+		PeerID: brCred.Subject,
+		Net:    net,
+		DB: broker.AuthenticatorFunc(func(_ context.Context, u, p string) ([]string, error) {
+			return db.Authenticate(u, p)
+		}),
+		RequireSecureLogin: secure,
+	})
+	if err != nil {
+		return err
+	}
+	defer br.Close()
+	if _, err := core.EnableBrokerSecurity(br, core.BrokerConfig{
+		KeyPair: brKP, Credential: brCred, Trust: trust, RequireSignedAdvs: secure,
+	}); err != nil {
+		return err
+	}
+	fmt.Printf("broker %q up (secure=%v, profile=%s)\n", br.Name(), secure, profileName)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	var msgCount, secCount, alertCount atomic.Int64
+	type peer struct {
+		plain  *client.Client
+		secure *core.SecureClient
+		files  *filesvc.Service
+	}
+	var peersList []*peer
+
+	for i := 0; i < nClients; i++ {
+		var p peer
+		if secure {
+			cl, err := client.New(net, membership.NewPSE("", 0), user(i))
+			if err != nil {
+				return err
+			}
+			clTrust, err := dep.TrustStore()
+			if err != nil {
+				return err
+			}
+			sc, err := core.NewSecureClient(cl, clTrust)
+			if err != nil {
+				return err
+			}
+			if err := sc.SecureConnection(ctx, br.PeerID()); err != nil {
+				return fmt.Errorf("%s secureConnection: %w", user(i), err)
+			}
+			if err := sc.SecureLogin(ctx, pw(i)); err != nil {
+				return fmt.Errorf("%s secureLogin: %w", user(i), err)
+			}
+			p.plain = cl
+			p.secure = sc
+			p.files = filesvc.New(cl)
+		} else {
+			cl, err := client.New(net, membership.NewNone(), user(i))
+			if err != nil {
+				return err
+			}
+			if err := cl.Connect(ctx, br.PeerID()); err != nil {
+				return fmt.Errorf("%s connect: %w", user(i), err)
+			}
+			if err := cl.Login(ctx, pw(i)); err != nil {
+				return fmt.Errorf("%s login: %w", user(i), err)
+			}
+			p.plain = cl
+			p.files = filesvc.New(cl)
+		}
+		name := user(i)
+		p.plain.Bus().SubscribeAll(func(e events.Event) {
+			switch e.Type {
+			case events.MessageReceived:
+				msgCount.Add(1)
+			case events.SecureMessage:
+				secCount.Add(1)
+			case events.SecurityAlert:
+				alertCount.Add(1)
+			}
+			if verbose {
+				fmt.Printf("  [%s] %-24s from=%.24s group=%s %s\n", name, e.Type, e.From, e.Group, summary(e))
+			}
+		})
+		defer p.plain.Close()
+		peersList = append(peersList, &p)
+		fmt.Printf("client %s joined groups %v\n", name, p.plain.Groups())
+	}
+
+	// Everyone shares one file with the plenary group.
+	for i, p := range peersList {
+		content := []byte(strings.Repeat(fmt.Sprintf("notes of %s; ", user(i)), 100))
+		if err := p.files.Share(ctx, "plenary", fmt.Sprintf("notes-%s.txt", user(i)), content); err != nil {
+			return fmt.Errorf("share: %w", err)
+		}
+	}
+
+	// Group chatter.
+	for round := 0; round < messages; round++ {
+		for i, p := range peersList {
+			text := fmt.Sprintf("round %d greetings from %s", round, user(i))
+			var sent int
+			var err error
+			if secure {
+				sent, err = p.secure.SecureMsgPeerGroup(ctx, "plenary", text)
+			} else {
+				sent, err = p.plain.SendMsgPeerGroup(ctx, "plenary", text)
+			}
+			if err != nil {
+				return fmt.Errorf("group send: %w", err)
+			}
+			if verbose {
+				fmt.Printf("  %s sent to %d peers\n", user(i), sent)
+			}
+		}
+	}
+
+	// One cross-peer download.
+	if len(peersList) >= 2 {
+		data, err := peersList[1].files.Download(ctx, peersList[0].plain.PeerID(), "notes-"+user(0)+".txt")
+		if err != nil {
+			return fmt.Errorf("download: %w", err)
+		}
+		fmt.Printf("%s downloaded %d bytes from %s\n", user(1), len(data), user(0))
+	}
+
+	// Publish and read statistics.
+	for _, p := range peersList {
+		if err := p.plain.PublishStats(ctx, "plenary"); err != nil {
+			return err
+		}
+	}
+	if len(peersList) >= 2 {
+		stats, err := peersList[0].plain.GetPeerStats(ctx, peersList[1].plain.PeerID(), "plenary")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("stats of %s: sent=%d recv=%d bytes-out=%d\n", user(1), stats.MsgsSent, stats.MsgsRecv, stats.BytesSent)
+	}
+
+	// Let deliveries drain, then report.
+	time.Sleep(200 * time.Millisecond)
+	ns := net.Stats()
+	fmt.Println()
+	fmt.Printf("network: %d frames sent, %d delivered, %d dropped, %d bytes\n", ns.Sent, ns.Delivered, ns.Dropped, ns.Bytes)
+	fmt.Printf("events:  %d plain messages, %d secure messages, %d security alerts\n",
+		msgCount.Load(), secCount.Load(), alertCount.Load())
+	return nil
+}
+
+func user(i int) string { return fmt.Sprintf("peer%02d", i) }
+func pw(i int) string   { return fmt.Sprintf("pw-%02d", i) }
+
+func summary(e events.Event) string {
+	if len(e.Data) > 0 {
+		s := string(e.Data)
+		if len(s) > 32 {
+			s = s[:32] + "..."
+		}
+		return fmt.Sprintf("%q", s)
+	}
+	if len(e.Payload) > 0 {
+		return fmt.Sprintf("%v", e.Payload)
+	}
+	return ""
+}

@@ -1,0 +1,17 @@
+// Package jxtaoverlay is a from-scratch Go reproduction of
+// "A Security-aware Approach to JXTA-Overlay Primitives"
+// (Arnedo-Moreno, Matsuo, Barolli, Xhafa — ICPP Workshops 2009,
+// DOI 10.1109/ICPPW.2009.13).
+//
+// The repository contains the complete JXTA-Overlay middleware substrate
+// (XML advertisements, pipes, endpoint messaging, discovery, brokers,
+// the central user database, group/file/statistics/executable
+// primitives) plus the paper's contribution: the security extension in
+// internal/core (secureConnection, secureLogin, secureMsgPeer,
+// secureMsgPeerGroup, XMLdsig-signed advertisements, and the secured
+// executable primitives the paper lists as further work).
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the reproduction of the paper's evaluation. The
+// benchmarks in bench_test.go regenerate every number the paper reports.
+package jxtaoverlay

@@ -1,0 +1,177 @@
+// Package attack implements the adversaries the paper's security
+// analysis considers (§2.3): passive eavesdroppers on the wire,
+// advertisement forgers, login replayers, and fake brokers reached via
+// redirected traffic (the DNS-spoofing scenario).
+//
+// The package is a test harness, not an exploit kit: each adversary
+// exercises one documented JXTA-Overlay vulnerability so the test suite
+// can demonstrate that the original primitives are vulnerable and the
+// secure primitives resist.
+package attack
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"time"
+
+	"jxtaoverlay/internal/advert"
+	"jxtaoverlay/internal/broker"
+	"jxtaoverlay/internal/endpoint"
+	"jxtaoverlay/internal/keys"
+	"jxtaoverlay/internal/proto"
+	"jxtaoverlay/internal/simnet"
+	"jxtaoverlay/internal/xmldoc"
+)
+
+// Eavesdropper passively records every frame on the fabric — the "data
+// may be easily eavesdropped" threat.
+type Eavesdropper struct {
+	mu     sync.Mutex
+	frames []simnet.Packet
+}
+
+// NewEavesdropper taps the network.
+func NewEavesdropper(net *simnet.Network) *Eavesdropper {
+	e := &Eavesdropper{}
+	net.AddTap(func(p simnet.Packet) {
+		e.mu.Lock()
+		e.frames = append(e.frames, p)
+		e.mu.Unlock()
+	})
+	return e
+}
+
+// SawString reports whether the needle appeared in any captured frame —
+// e.g. a password crossing the wire in the clear.
+func (e *Eavesdropper) SawString(needle string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := []byte(needle)
+	for _, f := range e.frames {
+		if bytes.Contains(f.Payload, n) {
+			return true
+		}
+	}
+	return false
+}
+
+// FramesTo returns copies of every frame addressed to the given node, in
+// capture order — the raw material for replay attacks.
+func (e *Eavesdropper) FramesTo(to simnet.NodeID) [][]byte {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out [][]byte
+	for _, f := range e.frames {
+		if f.To == to {
+			out = append(out, append([]byte(nil), f.Payload...))
+		}
+	}
+	return out
+}
+
+// FrameCount reports how many frames were captured.
+func (e *Eavesdropper) FrameCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.frames)
+}
+
+// RawNode is an attacker-controlled attachment point that can inject
+// arbitrary frames — including verbatim replays of captured traffic.
+type RawNode struct {
+	id  simnet.NodeID
+	net *simnet.Network
+
+	mu       sync.Mutex
+	received [][]byte
+}
+
+// NewRawNode attaches an attacker node to the fabric.
+func NewRawNode(net *simnet.Network, id simnet.NodeID) (*RawNode, error) {
+	r := &RawNode{id: id, net: net}
+	if err := net.Attach(id, func(p simnet.Packet) {
+		r.mu.Lock()
+		r.received = append(r.received, append([]byte(nil), p.Payload...))
+		r.mu.Unlock()
+	}); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Replay injects a previously captured frame verbatim.
+func (r *RawNode) Replay(to simnet.NodeID, frame []byte) error {
+	return r.net.Send(r.id, to, frame)
+}
+
+// Received returns the frames delivered to the attacker node.
+func (r *RawNode) Received() [][]byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([][]byte, len(r.received))
+	copy(out, r.received)
+	return out
+}
+
+// ForgePipeAdv fabricates a pipe advertisement that claims to be the
+// victim's group input pipe but directs traffic to the attacker — the
+// man-in-the-middle redirect enabled by unverified advertisements.
+func ForgePipeAdv(victim keys.PeerID, attackerPipe string, attacker keys.PeerID, group string) *xmldoc.Element {
+	forged := &advert.Pipe{
+		PipeID:   attackerPipe,
+		PipeType: advert.PipeUnicast,
+		Name:     "msg/" + group + "/" + string(victim), // looks legitimate
+		PeerID:   attacker,                              // ...but lands at the attacker
+		Group:    group,
+	}
+	doc, err := forged.Document()
+	if err != nil {
+		panic(err) // all fields are set; cannot fail
+	}
+	return doc
+}
+
+// ForgePresence fabricates a presence advertisement for an arbitrary
+// peer — the "any legitimate user may forge advertisements" threat.
+func ForgePresence(victim keys.PeerID, name, group, status string) *xmldoc.Element {
+	p := &advert.Presence{PeerID: victim, Name: name, Group: group, Status: status, Seen: time.Now()}
+	doc, err := p.Document()
+	if err != nil {
+		panic(err)
+	}
+	return doc
+}
+
+// SpoofedPipeMessage fabricates a raw endpoint frame that delivers a
+// text message on the victim's group pipe with a forged source element —
+// the "no source authenticity" threat. The element names mirror the
+// endpoint layer's wire vocabulary.
+func SpoofedPipeMessage(claimedFrom, to keys.PeerID, pipeID, group, body string) []byte {
+	msg := endpoint.NewMessage().
+		AddString("jxta:src", string(claimedFrom)).
+		AddString("jxta:dst", string(to)).
+		AddString("jxta:svc", "jxta:pipe:"+pipeID).
+		AddString(proto.ElemBody, body).
+		AddString(proto.ElemGroup, group)
+	return msg.Marshal()
+}
+
+// NewFakeBroker stands up a broker that accepts every login — the
+// credential-harvesting endpoint of the DNS-spoofing scenario. It uses
+// the same well-known name as the target broker; nothing in the original
+// protocol lets a client tell them apart.
+func NewFakeBroker(net *simnet.Network, wellKnownName string, id keys.PeerID, harvested chan<- [2]string) (*broker.Broker, error) {
+	return broker.New(broker.Config{
+		Name:   wellKnownName,
+		PeerID: id,
+		Net:    net,
+		DB: broker.AuthenticatorFunc(func(_ context.Context, user, pass string) ([]string, error) {
+			select {
+			case harvested <- [2]string{user, pass}:
+			default:
+			}
+			return []string{"default"}, nil // accept everyone
+		}),
+	})
+}

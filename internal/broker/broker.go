@@ -1,0 +1,626 @@
+// Package broker implements the Broker Module: the super-peer that
+// controls access to a JXTA-Overlay network. Brokers authenticate end
+// users against the central database, organize them into overlapping
+// groups, maintain a global index of advertisements and resources, relay
+// traffic for NATed client peers, and propagate peer information across
+// group members.
+//
+// The module reproduces the original (insecure) broker faithfully —
+// plaintext login, no advertisement verification, no proof of broker
+// legitimacy — and exposes extension points (RegisterOp, RegisterPeer,
+// RequireSignedAdv) that internal/core uses to graft the paper's
+// security extension on top.
+package broker
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"jxtaoverlay/internal/advert"
+	"jxtaoverlay/internal/control"
+	"jxtaoverlay/internal/discovery"
+	"jxtaoverlay/internal/endpoint"
+	"jxtaoverlay/internal/events"
+	"jxtaoverlay/internal/keys"
+	"jxtaoverlay/internal/peergroup"
+	"jxtaoverlay/internal/proto"
+	"jxtaoverlay/internal/simnet"
+	"jxtaoverlay/internal/xmldoc"
+)
+
+// Authenticator abstracts the central database connection: the local
+// Store in small deployments, the authenticated remote client in
+// distributed ones.
+type Authenticator interface {
+	Authenticate(ctx context.Context, username, password string) ([]string, error)
+}
+
+// AuthenticatorFunc adapts a function to Authenticator.
+type AuthenticatorFunc func(ctx context.Context, username, password string) ([]string, error)
+
+// Authenticate implements Authenticator.
+func (f AuthenticatorFunc) Authenticate(ctx context.Context, u, p string) ([]string, error) {
+	return f(ctx, u, p)
+}
+
+// PeerInfo is the broker's view of a connected client peer.
+type PeerInfo struct {
+	ID          keys.PeerID
+	Username    string
+	Groups      []string
+	Online      bool
+	ConnectedAt time.Time
+	LastSeen    time.Time
+	// Origin is the federated broker the peer is logged into, or empty
+	// for peers connected to this broker directly.
+	Origin keys.PeerID
+}
+
+// Local reports whether the peer is connected to this broker directly.
+func (p PeerInfo) Local() bool { return p.Origin == "" }
+
+// OpHandler processes one broker operation.
+type OpHandler func(from keys.PeerID, msg *endpoint.Message) *endpoint.Message
+
+// AdvVerifier validates a published advertisement document before the
+// broker accepts and propagates it. The security extension installs one
+// backed by xdsig; nil accepts everything (the original behaviour).
+type AdvVerifier func(doc *xmldoc.Element) error
+
+// Config parameterizes a broker.
+type Config struct {
+	// Name is the broker's deployment name (its "well-known identifier").
+	Name string
+	// PeerID is the broker's overlay identifier.
+	PeerID keys.PeerID
+	// Net is the fabric to attach to.
+	Net *simnet.Network
+	// DB is the central database connection.
+	DB Authenticator
+	// RequireSecureLogin rejects the plaintext login primitive, forcing
+	// clients through the security extension.
+	RequireSecureLogin bool
+	// OpTimeout bounds database lookups triggered by operations.
+	OpTimeout time.Duration
+}
+
+// Broker is a running broker instance.
+type Broker struct {
+	cfg    Config
+	ep     *endpoint.Service
+	ctl    *control.Module
+	groups *peergroup.Registry
+
+	mu          sync.RWMutex
+	peers       map[keys.PeerID]*PeerInfo
+	ops         map[string]OpHandler
+	advVerifier AdvVerifier
+	federation  []keys.PeerID
+}
+
+// New attaches a broker to the network and registers its operations.
+func New(cfg Config) (*Broker, error) {
+	if cfg.Name == "" || cfg.PeerID == "" || cfg.Net == nil {
+		return nil, errors.New("broker: Name, PeerID and Net are required")
+	}
+	if cfg.DB == nil {
+		return nil, errors.New("broker: a database connection is required")
+	}
+	if cfg.OpTimeout <= 0 {
+		cfg.OpTimeout = 10 * time.Second
+	}
+	ep, err := endpoint.NewService(cfg.Net, cfg.PeerID)
+	if err != nil {
+		return nil, err
+	}
+	ep.EnableRelaying(true)
+	b := &Broker{
+		cfg:    cfg,
+		ep:     ep,
+		ctl:    control.New(ep, discovery.NewCache(), events.NewBus()),
+		groups: peergroup.NewRegistry(),
+		peers:  make(map[keys.PeerID]*PeerInfo),
+		ops:    make(map[string]OpHandler),
+	}
+	b.registerDefaultOps()
+	b.registerFederationOps()
+	ep.RegisterHandler(proto.BrokerService, b.dispatch)
+	return b, nil
+}
+
+// Accessors used by the security extension and diagnostics.
+
+// Name returns the broker's deployment name.
+func (b *Broker) Name() string { return b.cfg.Name }
+
+// PeerID returns the broker's overlay identifier.
+func (b *Broker) PeerID() keys.PeerID { return b.cfg.PeerID }
+
+// Endpoint returns the broker's endpoint service.
+func (b *Broker) Endpoint() *endpoint.Service { return b.ep }
+
+// Cache returns the broker's advertisement index.
+func (b *Broker) Cache() *discovery.Cache { return b.ctl.Cache() }
+
+// Groups returns the broker's group registry.
+func (b *Broker) Groups() *peergroup.Registry { return b.groups }
+
+// Bus returns the broker's event bus.
+func (b *Broker) Bus() *events.Bus { return b.ctl.Bus() }
+
+// DB returns the configured database connection.
+func (b *Broker) DB() Authenticator { return b.cfg.DB }
+
+// OpTimeout returns the configured per-operation timeout.
+func (b *Broker) OpTimeout() time.Duration { return b.cfg.OpTimeout }
+
+// RequireSecureLogin reports whether plaintext login is disabled.
+func (b *Broker) RequireSecureLogin() bool { return b.cfg.RequireSecureLogin }
+
+// RegisterOp installs (or overrides) an operation handler; the security
+// extension uses it to add secureConnection and secureLogin.
+func (b *Broker) RegisterOp(op string, h OpHandler) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ops[op] = h
+}
+
+// SetAdvVerifier installs the advertisement acceptance policy.
+func (b *Broker) SetAdvVerifier(v AdvVerifier) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advVerifier = v
+}
+
+func (b *Broker) dispatch(from keys.PeerID, msg *endpoint.Message) *endpoint.Message {
+	op, _ := msg.GetString(proto.ElemOp)
+	b.mu.RLock()
+	h, ok := b.ops[op]
+	b.mu.RUnlock()
+	if !ok {
+		return proto.Fail(proto.ErrUnknownOp)
+	}
+	return h(from, msg)
+}
+
+func (b *Broker) registerDefaultOps() {
+	b.ops[proto.OpConnect] = b.handleConnect
+	b.ops[proto.OpLogin] = b.handleLogin
+	b.ops[proto.OpLogout] = b.handleLogout
+	b.ops[proto.OpPublishAdv] = b.handlePublishAdv
+	b.ops[proto.OpLookupAdv] = b.handleLookupAdv
+	b.ops[proto.OpLookupPipe] = b.handleLookupPipe
+	b.ops[proto.OpListPeers] = b.handleListPeers
+	b.ops[proto.OpGroupCreate] = b.handleGroupCreate
+	b.ops[proto.OpGroupJoin] = b.handleGroupJoin
+	b.ops[proto.OpGroupLeave] = b.handleGroupLeave
+	b.ops[proto.OpGroupList] = b.handleGroupList
+	b.ops[proto.OpFileSearch] = b.handleFileSearch
+}
+
+// --- discovery ops ---
+
+func (b *Broker) handleConnect(from keys.PeerID, _ *endpoint.Message) *endpoint.Message {
+	// The plain connect opens a channel and identifies the broker by
+	// name only — nothing proves legitimacy (the vulnerability
+	// secureConnection addresses).
+	return proto.OK().AddString(proto.ElemBroker, b.cfg.Name)
+}
+
+func (b *Broker) handleLogin(from keys.PeerID, msg *endpoint.Message) *endpoint.Message {
+	if b.cfg.RequireSecureLogin {
+		return proto.Fail(proto.ErrSecureRequired)
+	}
+	user, _ := msg.GetString(proto.ElemUser)
+	pass, _ := msg.GetString(proto.ElemPass)
+	if user == "" {
+		return proto.Fail(proto.ErrBadRequest)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), b.cfg.OpTimeout)
+	defer cancel()
+	groups, err := b.cfg.DB.Authenticate(ctx, user, pass)
+	if err != nil {
+		return proto.Fail(proto.ErrAuthFailed)
+	}
+	b.RegisterPeer(from, user, groups)
+	return proto.OK().AddString(proto.ElemGroups, strings.Join(groups, ","))
+}
+
+func (b *Broker) handleLogout(from keys.PeerID, _ *endpoint.Message) *endpoint.Message {
+	b.UnregisterPeer(from)
+	return proto.OK()
+}
+
+// RegisterPeer records a successfully authenticated peer and joins it to
+// its database-assigned groups. The security extension calls it from
+// secureLogin; the plain login path calls it directly.
+func (b *Broker) RegisterPeer(id keys.PeerID, username string, groups []string) {
+	b.registerPeer(id, username, groups, "")
+}
+
+func (b *Broker) registerPeer(id keys.PeerID, username string, groups []string, origin keys.PeerID) {
+	now := time.Now()
+	b.mu.Lock()
+	info := &PeerInfo{
+		ID: id, Username: username,
+		Groups: append([]string(nil), groups...),
+		Online: true, ConnectedAt: now, LastSeen: now,
+		Origin: origin,
+	}
+	b.peers[id] = info
+	b.mu.Unlock()
+	reg := b.groups
+	for _, g := range groups {
+		reg.Ensure("", g, "", id)
+		reg.Join(g, id, username)
+	}
+	for _, g := range groups {
+		b.pushPresence(id, username, g, advert.StatusOnline)
+	}
+	// Announce locally connected peers to the federation; the partner
+	// brokers run their own local presence propagation.
+	if origin == "" {
+		b.fedBroadcast(peerUpMessage(info))
+	}
+	b.ctl.Emit(events.PresenceUpdate, id, "", map[string]string{"user": username, "status": advert.StatusOnline}, nil)
+}
+
+// UnregisterPeer removes a peer from the network view.
+func (b *Broker) UnregisterPeer(id keys.PeerID) {
+	b.unregisterPeer(id, true)
+}
+
+func (b *Broker) unregisterPeer(id keys.PeerID, announce bool) {
+	b.mu.Lock()
+	info, ok := b.peers[id]
+	var local bool
+	if ok {
+		info.Online = false
+		local = info.Origin == ""
+	}
+	b.mu.Unlock()
+	if !ok {
+		return
+	}
+	reg := b.groups
+	for _, g := range info.Groups {
+		b.pushPresence(id, info.Username, g, advert.StatusOffline)
+	}
+	reg.LeaveAll(id)
+	if announce && local {
+		b.fedBroadcast(endpoint.NewMessage().
+			AddString(proto.ElemOp, opFedPeerDown).
+			AddString(proto.ElemPeer, string(id)))
+	}
+	b.ctl.Emit(events.PresenceUpdate, id, "", map[string]string{"user": info.Username, "status": advert.StatusOffline}, nil)
+}
+
+// Peer returns the broker's record for a peer.
+func (b *Broker) Peer(id keys.PeerID) (PeerInfo, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	p, ok := b.peers[id]
+	if !ok {
+		return PeerInfo{}, false
+	}
+	return *p, true
+}
+
+// OnlinePeers lists the online peers of a group (all groups when group
+// is empty), sorted by peer ID.
+func (b *Broker) OnlinePeers(group string) []PeerInfo {
+	reg := b.groups
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var out []PeerInfo
+	for _, p := range b.peers {
+		if !p.Online {
+			continue
+		}
+		if group != "" {
+			if g, err := reg.Get(group); err != nil || !g.Has(p.ID) {
+				continue
+			}
+		}
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func (b *Broker) loggedIn(id keys.PeerID) bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	p, ok := b.peers[id]
+	return ok && p.Online
+}
+
+// memberOf enforces the JXTA-Overlay interaction rule: only members of
+// the same group may interact. The empty group (network-wide data) is
+// open to every logged-in peer.
+func (b *Broker) memberOf(id keys.PeerID, group string) bool {
+	if group == "" {
+		return true
+	}
+	g, err := b.groups.Get(group)
+	if err != nil {
+		return false
+	}
+	return g.Has(id)
+}
+
+// --- advertisement ops ---
+
+func (b *Broker) handlePublishAdv(from keys.PeerID, msg *endpoint.Message) *endpoint.Message {
+	if !b.loggedIn(from) {
+		return proto.Fail(proto.ErrNotLoggedIn)
+	}
+	raw, ok := msg.Get(proto.ElemAdv)
+	if !ok {
+		return proto.Fail(proto.ErrBadRequest)
+	}
+	doc, err := xmldoc.ParseBytes(raw)
+	if err != nil {
+		return proto.Fail(proto.ErrBadRequest)
+	}
+	b.mu.RLock()
+	verifier := b.advVerifier
+	b.mu.RUnlock()
+	if verifier != nil {
+		if err := verifier(doc); err != nil {
+			return proto.Fail(proto.ErrUnsignedAdv)
+		}
+	}
+	parsed, err := advert.Parse(doc)
+	if err != nil {
+		return proto.Fail(proto.ErrBadRequest)
+	}
+	// A peer may only publish into groups it belongs to.
+	if group := advGroup(parsed); group != "" && !b.memberOf(from, group) {
+		return proto.Fail(proto.ErrNoGroup)
+	}
+	adv, err := b.ctl.Cache().Put(doc)
+	if err != nil {
+		return proto.Fail(proto.ErrBadRequest)
+	}
+	if group := advGroup(adv); group != "" {
+		b.PropagateAdv(doc, group, from)
+	}
+	b.forwardAdvToFederation(doc, from)
+	return proto.OK()
+}
+
+// advGroup extracts the group an advertisement belongs to, if any.
+func advGroup(adv advert.Advertisement) string {
+	switch a := adv.(type) {
+	case *advert.Pipe:
+		return a.Group
+	case *advert.Presence:
+		return a.Group
+	case *advert.FileList:
+		return a.Group
+	case *advert.Stats:
+		return a.Group
+	default:
+		return ""
+	}
+}
+
+// PropagateAdv pushes an advertisement document to every locally
+// connected online member of the group except the source — the broker's
+// "distribute data beyond boundaries" role. Members on federated
+// brokers are reached by their own broker after forwardAdvToFederation.
+func (b *Broker) PropagateAdv(doc *xmldoc.Element, group string, except keys.PeerID) {
+	b.propagateLocal(doc, group, except)
+}
+
+func (b *Broker) propagateLocal(doc *xmldoc.Element, group string, except keys.PeerID) {
+	push := endpoint.NewMessage().
+		AddString(proto.ElemOp, proto.OpAdvPush).
+		AddXML(proto.ElemAdv, doc.Canonical())
+	for _, p := range b.OnlinePeers(group) {
+		if p.ID == except || !p.Local() {
+			continue
+		}
+		_ = b.ep.Send(p.ID, proto.ClientService, push)
+	}
+}
+
+func (b *Broker) pushPresence(id keys.PeerID, username, group, status string) {
+	pres := &advert.Presence{PeerID: id, Name: username, Group: group, Status: status, Seen: time.Now()}
+	doc, err := pres.Document()
+	if err != nil {
+		return
+	}
+	b.ctl.Cache().PutAdv(pres)
+	b.propagateLocal(doc, group, id)
+}
+
+func (b *Broker) handleLookupAdv(from keys.PeerID, msg *endpoint.Message) *endpoint.Message {
+	if !b.loggedIn(from) {
+		return proto.Fail(proto.ErrNotLoggedIn)
+	}
+	advType, _ := msg.GetString(proto.ElemAdvType)
+	advID, _ := msg.GetString(proto.ElemAdvID)
+	rec, err := b.ctl.Cache().Lookup(advType, advID)
+	if err != nil {
+		return proto.Fail(proto.ErrNotFound)
+	}
+	if group := advGroup(rec.Adv); group != "" && !b.memberOf(from, group) {
+		return proto.Fail(proto.ErrNoGroup)
+	}
+	return proto.OK().AddXML(proto.ElemAdv, rec.Doc.Canonical())
+}
+
+func (b *Broker) handleLookupPipe(from keys.PeerID, msg *endpoint.Message) *endpoint.Message {
+	if !b.loggedIn(from) {
+		return proto.Fail(proto.ErrNotLoggedIn)
+	}
+	peer, _ := msg.GetString(proto.ElemPeer)
+	group, _ := msg.GetString(proto.ElemGroup)
+	if !b.memberOf(from, group) {
+		return proto.Fail(proto.ErrNoGroup)
+	}
+	recs := b.ctl.Cache().Find(advert.TypePipe, func(a advert.Advertisement) bool {
+		p := a.(*advert.Pipe)
+		return string(p.PeerID) == peer && p.Group == group
+	})
+	if len(recs) == 0 {
+		return proto.Fail(proto.ErrNotFound)
+	}
+	return proto.OK().AddXML(proto.ElemAdv, recs[0].Doc.Canonical())
+}
+
+func (b *Broker) handleListPeers(from keys.PeerID, msg *endpoint.Message) *endpoint.Message {
+	if !b.loggedIn(from) {
+		return proto.Fail(proto.ErrNotLoggedIn)
+	}
+	group, _ := msg.GetString(proto.ElemGroup)
+	if !b.memberOf(from, group) {
+		return proto.Fail(proto.ErrNoGroup)
+	}
+	var lines []string
+	for _, p := range b.OnlinePeers(group) {
+		lines = append(lines, fmt.Sprintf("%s|%s|%s", p.ID, p.Username, advert.StatusOnline))
+	}
+	return proto.OK().AddString(proto.ElemPeers, strings.Join(lines, "\n"))
+}
+
+// --- group ops ---
+
+func (b *Broker) handleGroupCreate(from keys.PeerID, msg *endpoint.Message) *endpoint.Message {
+	if !b.loggedIn(from) {
+		return proto.Fail(proto.ErrNotLoggedIn)
+	}
+	name, _ := msg.GetString(proto.ElemGroup)
+	desc, _ := msg.GetString(proto.ElemDesc)
+	if name == "" {
+		return proto.Fail(proto.ErrBadRequest)
+	}
+	id, err := advert.NewID("group")
+	if err != nil {
+		return proto.Fail(proto.ErrBadRequest)
+	}
+	if _, err := b.groups.Create(id, name, desc, from); err != nil {
+		return proto.Fail(proto.ErrGroupExists)
+	}
+	ga := &advert.Group{GroupID: id, Name: name, Desc: desc, Creator: from}
+	b.ctl.Cache().PutAdv(ga)
+	b.ctl.Emit(events.GroupUpdated, from, name, map[string]string{"action": "create"}, nil)
+	return proto.OK()
+}
+
+func (b *Broker) handleGroupJoin(from keys.PeerID, msg *endpoint.Message) *endpoint.Message {
+	if !b.loggedIn(from) {
+		return proto.Fail(proto.ErrNotLoggedIn)
+	}
+	name, _ := msg.GetString(proto.ElemGroup)
+	info, _ := b.Peer(from)
+	if err := b.groups.Join(name, from, info.Username); err != nil {
+		return proto.Fail(proto.ErrNoGroup)
+	}
+	b.mu.Lock()
+	if p, ok := b.peers[from]; ok && !contains(p.Groups, name) {
+		p.Groups = append(p.Groups, name)
+	}
+	b.mu.Unlock()
+	b.pushPresence(from, info.Username, name, advert.StatusOnline)
+	b.ctl.Emit(events.GroupUpdated, from, name, map[string]string{"action": "join"}, nil)
+	return proto.OK()
+}
+
+func (b *Broker) handleGroupLeave(from keys.PeerID, msg *endpoint.Message) *endpoint.Message {
+	if !b.loggedIn(from) {
+		return proto.Fail(proto.ErrNotLoggedIn)
+	}
+	name, _ := msg.GetString(proto.ElemGroup)
+	info, _ := b.Peer(from)
+	if err := b.groups.Leave(name, from); err != nil {
+		return proto.Fail(proto.ErrNoGroup)
+	}
+	b.mu.Lock()
+	if p, ok := b.peers[from]; ok {
+		p.Groups = remove(p.Groups, name)
+	}
+	b.mu.Unlock()
+	b.pushPresence(from, info.Username, name, advert.StatusOffline)
+	b.ctl.Emit(events.GroupUpdated, from, name, map[string]string{"action": "leave"}, nil)
+	return proto.OK()
+}
+
+func (b *Broker) handleGroupList(from keys.PeerID, _ *endpoint.Message) *endpoint.Message {
+	if !b.loggedIn(from) {
+		return proto.Fail(proto.ErrNotLoggedIn)
+	}
+	return proto.OK().AddString(proto.ElemGroups, strings.Join(b.groups.List(), ","))
+}
+
+// --- file index ops ---
+
+func (b *Broker) handleFileSearch(from keys.PeerID, msg *endpoint.Message) *endpoint.Message {
+	if !b.loggedIn(from) {
+		return proto.Fail(proto.ErrNotLoggedIn)
+	}
+	keyword, _ := msg.GetString(proto.ElemKeyword)
+	group, _ := msg.GetString(proto.ElemGroup)
+	if group != "" && !b.memberOf(from, group) {
+		return proto.Fail(proto.ErrNoGroup)
+	}
+	resp := proto.OK()
+	found := 0
+	for _, rec := range b.ctl.Cache().Find(advert.TypeFileList, nil) {
+		fl := rec.Adv.(*advert.FileList)
+		if group != "" && fl.Group != group {
+			continue
+		}
+		// Network-wide searches only surface files from the requester's
+		// own groups.
+		if group == "" && !b.memberOf(from, fl.Group) {
+			continue
+		}
+		for _, f := range fl.Files {
+			if keyword == "" || strings.Contains(f.Name, keyword) {
+				resp.AddXML(proto.ElemAdv, rec.Doc.Canonical())
+				found++
+				break
+			}
+		}
+		if found >= 64 {
+			break
+		}
+	}
+	return resp
+}
+
+// Close detaches the broker from the network.
+func (b *Broker) Close() {
+	b.ctl.Close()
+	b.ep.Close()
+}
+
+// NodeID returns the broker's simnet attachment point.
+func (b *Broker) NodeID() simnet.NodeID { return endpoint.NodeID(b.cfg.PeerID) }
+
+func contains(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+func remove(ss []string, s string) []string {
+	out := ss[:0]
+	for _, v := range ss {
+		if v != s {
+			out = append(out, v)
+		}
+	}
+	return out
+}

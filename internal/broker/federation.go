@@ -1,0 +1,167 @@
+package broker
+
+import (
+	"strings"
+
+	"jxtaoverlay/internal/endpoint"
+	"jxtaoverlay/internal/keys"
+	"jxtaoverlay/internal/proto"
+	"jxtaoverlay/internal/xmldoc"
+)
+
+// Brokers "exchange information about all client peers, maintaining a
+// global index of available resources" (paper §2.1). This file
+// implements that exchange: federated brokers push peer arrivals,
+// departures and published advertisements to each other, so a client
+// logged into broker A can discover and message a client logged into
+// broker B.
+//
+// Loop prevention is structural: federation messages are never
+// re-forwarded, and local propagation only reaches locally registered
+// peers, so every update crosses the broker mesh exactly once per link.
+
+// Federation operations (broker → broker).
+const (
+	opFedPeerUp   = "fedPeerUp"
+	opFedPeerDown = "fedPeerDown"
+	opFedAdv      = "fedAdv"
+)
+
+// Federate connects this broker to peer brokers. Call it on both sides
+// (or all pairs of a full mesh). Existing local peers are announced to
+// the new partners immediately.
+func (b *Broker) Federate(partners ...keys.PeerID) {
+	b.mu.Lock()
+	for _, p := range partners {
+		if p != b.cfg.PeerID && !containsPeer(b.federation, p) {
+			b.federation = append(b.federation, p)
+		}
+	}
+	local := make([]*PeerInfo, 0, len(b.peers))
+	for _, info := range b.peers {
+		if info.Online && info.Origin == "" {
+			cp := *info
+			local = append(local, &cp)
+		}
+	}
+	b.mu.Unlock()
+	for _, info := range local {
+		b.fedBroadcast(peerUpMessage(info))
+	}
+}
+
+// FederationPartners lists the connected brokers.
+func (b *Broker) FederationPartners() []keys.PeerID {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return append([]keys.PeerID(nil), b.federation...)
+}
+
+func containsPeer(list []keys.PeerID, p keys.PeerID) bool {
+	for _, v := range list {
+		if v == p {
+			return true
+		}
+	}
+	return false
+}
+
+// fedBroadcast pushes a federation message to every partner.
+func (b *Broker) fedBroadcast(msg *endpoint.Message) {
+	b.mu.RLock()
+	partners := append([]keys.PeerID(nil), b.federation...)
+	b.mu.RUnlock()
+	for _, p := range partners {
+		_ = b.ep.Send(p, proto.BrokerService, msg)
+	}
+}
+
+// isPartner reports whether the sender is a registered federation peer.
+// In the original middleware nothing authenticates this (consistent
+// with its threat model); the security extension's advertisement
+// verifier still applies to federated advertisement payloads.
+func (b *Broker) isPartner(id keys.PeerID) bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return containsPeer(b.federation, id)
+}
+
+func peerUpMessage(info *PeerInfo) *endpoint.Message {
+	return endpoint.NewMessage().
+		AddString(proto.ElemOp, opFedPeerUp).
+		AddString(proto.ElemPeer, string(info.ID)).
+		AddString(proto.ElemUser, info.Username).
+		AddString(proto.ElemGroups, strings.Join(info.Groups, ","))
+}
+
+func (b *Broker) registerFederationOps() {
+	b.ops[opFedPeerUp] = b.handleFedPeerUp
+	b.ops[opFedPeerDown] = b.handleFedPeerDown
+	b.ops[opFedAdv] = b.handleFedAdv
+}
+
+func (b *Broker) handleFedPeerUp(from keys.PeerID, msg *endpoint.Message) *endpoint.Message {
+	if !b.isPartner(from) {
+		return nil
+	}
+	peer, _ := msg.GetString(proto.ElemPeer)
+	user, _ := msg.GetString(proto.ElemUser)
+	groupsCSV, _ := msg.GetString(proto.ElemGroups)
+	var groups []string
+	if groupsCSV != "" {
+		groups = strings.Split(groupsCSV, ",")
+	}
+	b.registerPeer(keys.PeerID(peer), user, groups, from)
+	return nil
+}
+
+func (b *Broker) handleFedPeerDown(from keys.PeerID, msg *endpoint.Message) *endpoint.Message {
+	if !b.isPartner(from) {
+		return nil
+	}
+	peer, _ := msg.GetString(proto.ElemPeer)
+	b.unregisterPeer(keys.PeerID(peer), false)
+	return nil
+}
+
+func (b *Broker) handleFedAdv(from keys.PeerID, msg *endpoint.Message) *endpoint.Message {
+	if !b.isPartner(from) {
+		return nil
+	}
+	raw, ok := msg.Get(proto.ElemAdv)
+	if !ok {
+		return nil
+	}
+	doc, err := xmldoc.ParseBytes(raw)
+	if err != nil {
+		return nil
+	}
+	b.mu.RLock()
+	verifier := b.advVerifier
+	b.mu.RUnlock()
+	if verifier != nil {
+		if err := verifier(doc); err != nil {
+			return nil
+		}
+	}
+	src, _ := msg.GetString(proto.ElemPeer)
+	adv, err := b.ctl.Cache().Put(doc)
+	if err != nil {
+		return nil
+	}
+	// Propagate to local members only; never re-forward (loop guard).
+	if group := advGroup(adv); group != "" {
+		b.propagateLocal(doc, group, keys.PeerID(src))
+	}
+	return nil
+}
+
+// forwardAdvToFederation ships a freshly published advertisement to the
+// partner brokers.
+func (b *Broker) forwardAdvToFederation(doc *xmldoc.Element, source keys.PeerID) {
+	msg := endpoint.NewMessage().
+		AddString(proto.ElemOp, opFedAdv).
+		AddString(proto.ElemPeer, string(source)).
+		AddXML(proto.ElemAdv, doc.Canonical())
+	b.fedBroadcast(msg)
+}

@@ -1,0 +1,241 @@
+package broker_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"jxtaoverlay/internal/broker"
+	"jxtaoverlay/internal/client"
+	"jxtaoverlay/internal/events"
+	"jxtaoverlay/internal/keys"
+	"jxtaoverlay/internal/membership"
+	"jxtaoverlay/internal/simnet"
+	"jxtaoverlay/internal/userdb"
+)
+
+// fedHarness is a two-broker federated network over one shared user
+// database, as §2.1 describes.
+type fedHarness struct {
+	t        *testing.T
+	net      *simnet.Network
+	brA, brB *broker.Broker
+	db       *userdb.Store
+}
+
+func newFedHarness(t *testing.T) *fedHarness {
+	t.Helper()
+	net := simnet.NewNetwork(simnet.ProfileLocal)
+	t.Cleanup(net.Close)
+	db := userdb.NewStoreIter(4)
+	db.Register("alice", "pw", "math")
+	db.Register("bob", "pw", "math")
+	auth := broker.AuthenticatorFunc(func(_ context.Context, u, p string) ([]string, error) {
+		return db.Authenticate(u, p)
+	})
+	mk := func(name string) *broker.Broker {
+		b, err := broker.New(broker.Config{
+			Name: name, PeerID: keys.LegacyPeerID(name), Net: net, DB: auth,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(b.Close)
+		return b
+	}
+	brA, brB := mk("broker-a"), mk("broker-b")
+	brA.Federate(brB.PeerID())
+	brB.Federate(brA.PeerID())
+	return &fedHarness{t: t, net: net, brA: brA, brB: brB, db: db}
+}
+
+func (h *fedHarness) login(alias string, br *broker.Broker) *client.Client {
+	h.t.Helper()
+	cl, err := client.New(h.net, membership.NewNone(), alias)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	h.t.Cleanup(cl.Close)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := cl.Connect(ctx, br.PeerID()); err != nil {
+		h.t.Fatal(err)
+	}
+	if err := cl.Login(ctx, "pw"); err != nil {
+		h.t.Fatal(err)
+	}
+	return cl
+}
+
+func waitUntil(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not met within deadline")
+}
+
+func TestFederationSharesPeerRegistry(t *testing.T) {
+	h := newFedHarness(t)
+	alice := h.login("alice", h.brA)
+	_ = h.login("bob", h.brB)
+
+	// Broker A learns about bob (connected to B) and vice versa.
+	waitUntil(t, func() bool {
+		info, ok := h.brA.Peer(keys.LegacyPeerID("bob"))
+		return ok && info.Online && !info.Local()
+	})
+	waitUntil(t, func() bool {
+		info, ok := h.brB.Peer(alice.PeerID())
+		return ok && info.Online && info.Origin == h.brA.PeerID()
+	})
+
+	// Alice (on A) sees bob in the math group listing.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var sawBob bool
+	waitUntil(t, func() bool {
+		peers, err := alice.GetOnlinePeers(ctx, "math")
+		if err != nil {
+			return false
+		}
+		for _, p := range peers {
+			if p.Username == "bob" {
+				sawBob = true
+			}
+		}
+		return sawBob
+	})
+}
+
+func TestFederationCrossBrokerMessaging(t *testing.T) {
+	h := newFedHarness(t)
+	alice := h.login("alice", h.brA)
+	bob := h.login("bob", h.brB)
+
+	// Bob's pipe advertisement (published to B) must reach A's index.
+	waitUntil(t, func() bool {
+		recs := h.brA.Cache().Find("PipeAdvertisement", nil)
+		for _, r := range recs {
+			if r.Doc.ChildText("PeerID") == string(bob.PeerID()) {
+				return true
+			}
+		}
+		return false
+	})
+
+	bobEvents := events.NewCollector(bob.Bus())
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := alice.SendMsgPeer(ctx, bob.PeerID(), "math", "cross-broker hello"); err != nil {
+		t.Fatalf("cross-broker SendMsgPeer: %v", err)
+	}
+	e, ok := bobEvents.WaitFor(events.MessageReceived, 5*time.Second)
+	if !ok {
+		t.Fatal("message across brokers not delivered")
+	}
+	if string(e.Data) != "cross-broker hello" {
+		t.Fatalf("payload = %q", e.Data)
+	}
+}
+
+func TestFederationPeerDown(t *testing.T) {
+	h := newFedHarness(t)
+	alice := h.login("alice", h.brA)
+	bob := h.login("bob", h.brB)
+	waitUntil(t, func() bool {
+		info, ok := h.brA.Peer(bob.PeerID())
+		return ok && info.Online
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := bob.Logout(ctx); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, func() bool {
+		info, ok := h.brA.Peer(bob.PeerID())
+		return ok && !info.Online
+	})
+	peers, err := alice.GetOnlinePeers(ctx, "math")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range peers {
+		if p.Username == "bob" {
+			t.Fatal("bob still listed on broker A after logout at broker B")
+		}
+	}
+}
+
+func TestFederationIgnoresNonPartners(t *testing.T) {
+	h := newFedHarness(t)
+	// A rogue broker not in the federation sends a fedPeerUp; it must be
+	// ignored.
+	rogue, err := broker.New(broker.Config{
+		Name: "rogue", PeerID: keys.LegacyPeerID("rogue"), Net: h.net,
+		DB: broker.AuthenticatorFunc(func(_ context.Context, u, p string) ([]string, error) {
+			return nil, nil
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rogue.Close()
+	rogue.Federate(h.brA.PeerID()) // one-sided: A does not trust rogue
+	rogue.RegisterPeer("urn:jxta:uuid-ghost", "ghost", []string{"math"})
+	time.Sleep(100 * time.Millisecond)
+	if _, ok := h.brA.Peer("urn:jxta:uuid-ghost"); ok {
+		t.Fatal("broker A accepted a peer from a non-partner broker")
+	}
+}
+
+func TestFederateAnnouncesExistingPeers(t *testing.T) {
+	net := simnet.NewNetwork(simnet.ProfileLocal)
+	t.Cleanup(net.Close)
+	db := userdb.NewStoreIter(4)
+	db.Register("alice", "pw", "math")
+	auth := broker.AuthenticatorFunc(func(_ context.Context, u, p string) ([]string, error) {
+		return db.Authenticate(u, p)
+	})
+	brA, err := broker.New(broker.Config{Name: "a", PeerID: keys.LegacyPeerID("a"), Net: net, DB: auth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer brA.Close()
+	brB, err := broker.New(broker.Config{Name: "b", PeerID: keys.LegacyPeerID("b"), Net: net, DB: auth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer brB.Close()
+
+	// Alice logs into A before the federation link exists.
+	cl, err := client.New(net, membership.NewNone(), "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := cl.Connect(ctx, brA.PeerID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Login(ctx, "pw"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Federating later still announces alice to B.
+	brB.Federate(brA.PeerID())
+	brA.Federate(brB.PeerID())
+	waitUntil(t, func() bool {
+		info, ok := brB.Peer(cl.PeerID())
+		return ok && info.Online
+	})
+	if got := brB.FederationPartners(); len(got) != 1 || got[0] != brA.PeerID() {
+		t.Fatalf("partners = %v", got)
+	}
+}

@@ -1,0 +1,14 @@
+package client_test
+
+import (
+	"jxtaoverlay/internal/endpoint"
+	"jxtaoverlay/internal/proto"
+)
+
+// newSecEnvelopeMessage fabricates a pipe message that looks like a
+// secure envelope to a client without the security extension.
+func newSecEnvelopeMessage() *endpoint.Message {
+	return endpoint.NewMessage().
+		Add(proto.ElemEnvelope, []byte{0xFF, 0x00, 0x01}).
+		AddString(proto.ElemGroup, "math")
+}

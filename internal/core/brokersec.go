@@ -1,0 +1,296 @@
+package core
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/hex"
+	"errors"
+	"sync"
+	"time"
+
+	"jxtaoverlay/internal/advert"
+	"jxtaoverlay/internal/broker"
+	"jxtaoverlay/internal/cred"
+	"jxtaoverlay/internal/endpoint"
+	"jxtaoverlay/internal/keys"
+	"jxtaoverlay/internal/proto"
+	"jxtaoverlay/internal/xdsig"
+	"jxtaoverlay/internal/xmldoc"
+)
+
+// BrokerConfig parameterizes the broker-side security extension.
+type BrokerConfig struct {
+	// KeyPair is SK/PK_Br.
+	KeyPair *keys.KeyPair
+	// Credential is Cred_Br^Adm, issued by the administrator.
+	Credential *cred.Credential
+	// Trust is the broker's trust store (anchored at the administrator).
+	Trust *cred.TrustStore
+	// CredValidity is the lifetime of client credentials issued at
+	// secureLogin (0 = DefaultCredValidity).
+	CredValidity time.Duration
+	// SidTTL bounds how long an unused session identifier stays valid
+	// (0 = 2 minutes).
+	SidTTL time.Duration
+	// RequireSignedAdvs makes the broker reject unsigned or untrusted
+	// advertisement publications.
+	RequireSignedAdvs bool
+}
+
+// BrokerSecurity is the security extension attached to one broker.
+type BrokerSecurity struct {
+	cfg BrokerConfig
+	b   *broker.Broker
+
+	mu    sync.Mutex
+	sids  map[string]time.Time
+	clock func() time.Time
+}
+
+// EnableBrokerSecurity attaches the secure primitives to a broker:
+// it registers the secureConnection and secureLogin operations and,
+// when configured, the signed-advertisement acceptance policy.
+func EnableBrokerSecurity(b *broker.Broker, cfg BrokerConfig) (*BrokerSecurity, error) {
+	if cfg.KeyPair == nil || cfg.Credential == nil || cfg.Trust == nil {
+		return nil, errors.New("core: broker security requires key pair, credential and trust store")
+	}
+	if !cfg.Credential.Key.Equal(cfg.KeyPair.Public()) {
+		return nil, errors.New("core: broker credential does not match key pair")
+	}
+	if cfg.Credential.Role != cred.RoleBroker {
+		return nil, errors.New("core: credential role is not broker")
+	}
+	if cfg.CredValidity <= 0 {
+		cfg.CredValidity = DefaultCredValidity
+	}
+	if cfg.SidTTL <= 0 {
+		cfg.SidTTL = 2 * time.Minute
+	}
+	bs := &BrokerSecurity{
+		cfg:   cfg,
+		b:     b,
+		sids:  make(map[string]time.Time),
+		clock: time.Now,
+	}
+	b.RegisterOp(proto.OpSecureConnect, bs.handleSecureConnect)
+	b.RegisterOp(proto.OpSecureLogin, bs.handleSecureLogin)
+	b.RegisterOp(OpSecureRenew, bs.handleSecureRenew)
+	if cfg.RequireSignedAdvs {
+		b.SetAdvVerifier(bs.verifyAdv)
+	}
+	return bs, nil
+}
+
+// SetClock overrides the time source (tests).
+func (bs *BrokerSecurity) SetClock(now func() time.Time) {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	bs.clock = now
+}
+
+// Credential returns the broker's administrator-issued credential.
+func (bs *BrokerSecurity) Credential() *cred.Credential { return bs.cfg.Credential }
+
+// IssueClientCredential issues Cred_Cl^Br for a key out of band — the
+// same credential secureLogin would issue, exposed for tooling and for
+// pre-provisioned deployments.
+func (bs *BrokerSecurity) IssueClientCredential(subject keys.PeerID, username string, key *keys.PublicKey) (*cred.Credential, error) {
+	return cred.Issue(bs.cfg.KeyPair, bs.cfg.Credential.Subject, subject, username, cred.RoleClient, key, bs.cfg.CredValidity)
+}
+
+// PendingSids reports how many session identifiers are outstanding.
+func (bs *BrokerSecurity) PendingSids() int {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	return len(bs.sids)
+}
+
+// handleSecureConnect implements the broker side of §4.2.1: receive the
+// client's random challenge, mint a session identifier, and prove
+// legitimacy by returning S_SKBr(chall) together with Cred_Br^Adm.
+func (bs *BrokerSecurity) handleSecureConnect(_ keys.PeerID, msg *endpoint.Message) *endpoint.Message {
+	chall, ok := msg.Get(proto.ElemChallenge)
+	if !ok || len(chall) == 0 {
+		return proto.Fail(proto.ErrBadRequest)
+	}
+	sidBytes, err := keys.RandomBytes(16)
+	if err != nil {
+		return proto.Fail(proto.ErrBadRequest)
+	}
+	sid := hex.EncodeToString(sidBytes)
+
+	now := bs.now()
+	bs.mu.Lock()
+	for s, t := range bs.sids { // lazy expiry sweep
+		if now.Sub(t) > bs.cfg.SidTTL {
+			delete(bs.sids, s)
+		}
+	}
+	bs.sids[sid] = now
+	bs.mu.Unlock()
+
+	sig, err := bs.cfg.KeyPair.Sign(chall)
+	if err != nil {
+		return proto.Fail(proto.ErrBadRequest)
+	}
+	credDoc, err := bs.cfg.Credential.Document()
+	if err != nil {
+		return proto.Fail(proto.ErrBadRequest)
+	}
+	return proto.OK().
+		AddString(proto.ElemSid, sid).
+		Add(proto.ElemSig, sig).
+		AddXML(proto.ElemCred, credDoc.Canonical())
+}
+
+func (bs *BrokerSecurity) now() time.Time {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	return bs.clock()
+}
+
+// consumeSid enforces single use: a sid is deleted the moment it is
+// presented (§4.2.2 step 5), which is what blocks login replay.
+func (bs *BrokerSecurity) consumeSid(sid string) bool {
+	now := bs.now()
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	issued, ok := bs.sids[sid]
+	if !ok {
+		return false
+	}
+	delete(bs.sids, sid)
+	return now.Sub(issued) <= bs.cfg.SidTTL
+}
+
+// handleSecureLogin implements the broker side of §4.2.2.
+func (bs *BrokerSecurity) handleSecureLogin(from keys.PeerID, msg *endpoint.Message) *endpoint.Message {
+	envBytes, ok := msg.Get(proto.ElemEnvelope)
+	if !ok {
+		return proto.Fail(proto.ErrBadRequest)
+	}
+	env, err := keys.ParseEnvelope(envBytes)
+	if err != nil {
+		return proto.Fail(proto.ErrBadRequest)
+	}
+	// Step 4: decrypt with SK_Br.
+	body, err := bs.cfg.KeyPair.Decrypt(env)
+	if err != nil {
+		return proto.Fail(proto.ErrBadRequest)
+	}
+	doc, err := xmldoc.ParseBytes(body)
+	if err != nil || doc.Name != "SecureLoginRequest" {
+		return proto.Fail(proto.ErrBadRequest)
+	}
+	user := doc.ChildText("User")
+	pass := doc.ChildText("Pass")
+	peerID := keys.PeerID(doc.ChildText("PeerID"))
+	sid := doc.ChildText("Sid")
+	clientKey, err := keys.ParsePublicBase64(doc.ChildText("Key"))
+	if err != nil {
+		return proto.Fail(proto.ErrBadRequest)
+	}
+	sig, err := base64.StdEncoding.DecodeString(doc.ChildText("Signature"))
+	if err != nil {
+		return proto.Fail(proto.ErrBadRequest)
+	}
+
+	// Step 5: single-use session identifier (anti-replay).
+	if !bs.consumeSid(sid) {
+		return proto.Fail(proto.ErrBadSid)
+	}
+
+	// Verify the request signature S_SKCl(username, password, PKCl).
+	bare := doc.Clone()
+	bare.RemoveChildren("Signature")
+	if err := clientKey.Verify(bare.Canonical(), sig); err != nil {
+		return proto.Fail(proto.ErrBadSignature)
+	}
+
+	// Step 7: key authenticity against the claimed peer identifier
+	// (CBID binding, the mechanism of [15]).
+	if err := keys.VerifyCBID(peerID, clientKey); err != nil {
+		return proto.Fail(proto.ErrCBIDMismatch)
+	}
+
+	// Step 6: username/password against the central database.
+	ctx, cancel := context.WithTimeout(context.Background(), bs.b.OpTimeout())
+	defer cancel()
+	groups, err := bs.b.DB().Authenticate(ctx, user, pass)
+	if err != nil {
+		return proto.Fail(proto.ErrAuthFailed)
+	}
+
+	// Step 8: issue cr = Cred_Cl^Br containing PK_Cl and the username.
+	clientCred, err := cred.Issue(bs.cfg.KeyPair, bs.cfg.Credential.Subject, peerID, user, cred.RoleClient, clientKey, bs.cfg.CredValidity)
+	if err != nil {
+		return proto.Fail(proto.ErrBadRequest)
+	}
+	credDoc, err := clientCred.Document()
+	if err != nil {
+		return proto.Fail(proto.ErrBadRequest)
+	}
+
+	bs.b.RegisterPeer(peerID, user, groups)
+
+	resp := proto.OK().
+		AddString(proto.ElemGroups, joinCSV(groups)).
+		AddXML(proto.ElemCred, credDoc.Canonical())
+	return resp
+}
+
+// verifyAdv is the signed-advertisement acceptance policy: structural
+// XMLdsig validity, a trusted credential chain, CBID binding, and
+// ownership (the signer must be the peer the advertisement describes).
+func (bs *BrokerSecurity) verifyAdv(doc *xmldoc.Element) error {
+	res, err := xdsig.VerifyTrusted(doc, bs.cfg.Trust, bs.now())
+	if err != nil {
+		return err
+	}
+	return CheckAdvOwnership(doc, res.Signer.Subject)
+}
+
+// CheckAdvOwnership rejects signed advertisements whose signer is not
+// the peer the advertisement describes — without it, any credentialed
+// user could still publish advertisements impersonating another peer.
+func CheckAdvOwnership(doc *xmldoc.Element, signer keys.PeerID) error {
+	adv, err := advert.Parse(doc)
+	if err != nil {
+		return err
+	}
+	owner := advOwner(adv)
+	if owner != "" && owner != signer {
+		return errors.New("core: advertisement owner does not match signer")
+	}
+	return nil
+}
+
+func advOwner(adv advert.Advertisement) keys.PeerID {
+	switch a := adv.(type) {
+	case *advert.Peer:
+		return a.PeerID
+	case *advert.Pipe:
+		return a.PeerID
+	case *advert.Presence:
+		return a.PeerID
+	case *advert.FileList:
+		return a.PeerID
+	case *advert.Stats:
+		return a.PeerID
+	case *advert.Group:
+		return a.Creator
+	default:
+		return ""
+	}
+}
+
+func joinCSV(ss []string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += ","
+		}
+		out += s
+	}
+	return out
+}

@@ -1,0 +1,25 @@
+package core_test
+
+import (
+	"time"
+
+	"jxtaoverlay/internal/advert"
+	"jxtaoverlay/internal/keys"
+	"jxtaoverlay/internal/xmldoc"
+)
+
+// presenceAdv builds an unsigned presence advertisement document.
+func presenceAdv(peer keys.PeerID, group string) *xmldoc.Element {
+	pres := &advert.Presence{
+		PeerID: peer,
+		Name:   "someone",
+		Group:  group,
+		Status: advert.StatusOnline,
+		Seen:   time.Now(),
+	}
+	doc, err := pres.Document()
+	if err != nil {
+		panic(err)
+	}
+	return doc
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"encoding/hex"
+	"sync"
+	"time"
+
+	"jxtaoverlay/internal/keys"
+)
+
+// The paper's messenger primitives are deliberately stateless and
+// best-effort (§4.3): no handshake, no sequence numbers — which means a
+// captured secure message can be replayed verbatim and will decrypt and
+// verify again. ReplayGuard is the optional hardening the paper's
+// "further work" invites: a bounded window of recently seen envelope
+// digests plus a freshness bound on the signed timestamp. It keeps the
+// primitive stateless on the wire (nothing is negotiated) at the cost of
+// per-receiver memory.
+
+// ReplayGuard tracks recently seen secure messages.
+type ReplayGuard struct {
+	// Window is how far in the past (and future, for clock skew) a
+	// message timestamp may lie.
+	window time.Duration
+	// maxEntries bounds memory; oldest entries are evicted first.
+	maxEntries int
+
+	mu    sync.Mutex
+	seen  map[string]time.Time
+	clock func() time.Time
+}
+
+// NewReplayGuard creates a guard accepting messages within the given
+// freshness window (0 = 2 minutes) and remembering up to maxEntries
+// digests (0 = 4096).
+func NewReplayGuard(window time.Duration, maxEntries int) *ReplayGuard {
+	if window <= 0 {
+		window = 2 * time.Minute
+	}
+	if maxEntries <= 0 {
+		maxEntries = 4096
+	}
+	return &ReplayGuard{
+		window:     window,
+		maxEntries: maxEntries,
+		seen:       make(map[string]time.Time),
+		clock:      time.Now,
+	}
+}
+
+// SetClock overrides the time source (tests).
+func (g *ReplayGuard) SetClock(now func() time.Time) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.clock = now
+}
+
+// Check admits a message exactly once within the freshness window. The
+// wire bytes identify the message (any bit flip would already fail
+// decryption or signature checks); sentAt is the signed timestamp from
+// the opened envelope.
+func (g *ReplayGuard) Check(wire []byte, sentAt time.Time) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	now := g.clock()
+	if d := now.Sub(sentAt); d > g.window || d < -g.window {
+		return ErrMessageStale
+	}
+	key := hex.EncodeToString(keys.SHA256(wire))
+	if _, dup := g.seen[key]; dup {
+		return ErrMessageReplayed
+	}
+	// Evict: expired first, then oldest if still over budget.
+	for k, t := range g.seen {
+		if now.Sub(t) > g.window {
+			delete(g.seen, k)
+		}
+	}
+	if len(g.seen) >= g.maxEntries {
+		var oldestK string
+		var oldestT time.Time
+		first := true
+		for k, t := range g.seen {
+			if first || t.Before(oldestT) {
+				oldestK, oldestT, first = k, t, false
+			}
+		}
+		delete(g.seen, oldestK)
+	}
+	g.seen[key] = now
+	return nil
+}
+
+// Len reports how many digests are currently tracked.
+func (g *ReplayGuard) Len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.seen)
+}

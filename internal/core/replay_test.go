@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestReplayGuardAdmitsOnce(t *testing.T) {
+	g := NewReplayGuard(time.Minute, 16)
+	wire := []byte("envelope-bytes")
+	now := time.Now()
+	if err := g.Check(wire, now); err != nil {
+		t.Fatalf("first Check: %v", err)
+	}
+	if err := g.Check(wire, now); err != ErrMessageReplayed {
+		t.Fatalf("second Check = %v, want ErrMessageReplayed", err)
+	}
+	// A different message is admitted.
+	if err := g.Check([]byte("other"), now); err != nil {
+		t.Fatalf("different message: %v", err)
+	}
+}
+
+func TestReplayGuardFreshness(t *testing.T) {
+	g := NewReplayGuard(time.Minute, 16)
+	base := time.Now()
+	g.SetClock(func() time.Time { return base })
+	if err := g.Check([]byte("old"), base.Add(-2*time.Minute)); err != ErrMessageStale {
+		t.Fatalf("stale past = %v", err)
+	}
+	if err := g.Check([]byte("future"), base.Add(2*time.Minute)); err != ErrMessageStale {
+		t.Fatalf("stale future = %v", err)
+	}
+	if err := g.Check([]byte("fresh"), base.Add(-30*time.Second)); err != nil {
+		t.Fatalf("fresh = %v", err)
+	}
+}
+
+func TestReplayGuardEvictsExpired(t *testing.T) {
+	g := NewReplayGuard(time.Minute, 16)
+	now := time.Now()
+	g.SetClock(func() time.Time { return now })
+	g.Check([]byte("a"), now)
+	g.Check([]byte("b"), now)
+	// Advance past the window; next Check sweeps expired entries.
+	now = now.Add(2 * time.Minute)
+	g.Check([]byte("c"), now)
+	if g.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (expired entries swept)", g.Len())
+	}
+}
+
+func TestReplayGuardBoundsMemory(t *testing.T) {
+	g := NewReplayGuard(time.Hour, 8)
+	now := time.Now()
+	g.SetClock(func() time.Time { return now })
+	for i := 0; i < 50; i++ {
+		now = now.Add(time.Millisecond)
+		if err := g.Check([]byte(fmt.Sprintf("m%02d", i)), now); err != nil {
+			t.Fatalf("Check %d: %v", i, err)
+		}
+	}
+	if g.Len() > 8 {
+		t.Fatalf("Len = %d, exceeds maxEntries", g.Len())
+	}
+}
+
+func TestReplayGuardDefaults(t *testing.T) {
+	g := NewReplayGuard(0, 0)
+	if err := g.Check([]byte("x"), time.Now()); err != nil {
+		t.Fatalf("defaulted guard rejected fresh message: %v", err)
+	}
+}

@@ -1,0 +1,436 @@
+package core
+
+import (
+	"context"
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"jxtaoverlay/internal/advert"
+	"jxtaoverlay/internal/client"
+	"jxtaoverlay/internal/cred"
+	"jxtaoverlay/internal/endpoint"
+	"jxtaoverlay/internal/events"
+	"jxtaoverlay/internal/keys"
+	"jxtaoverlay/internal/membership"
+	"jxtaoverlay/internal/pipes"
+	"jxtaoverlay/internal/proto"
+	"jxtaoverlay/internal/xdsig"
+	"jxtaoverlay/internal/xmldoc"
+)
+
+// Secure-primitive errors.
+var (
+	ErrBrokerNotLegit  = errors.New("core: broker failed the legitimacy check")
+	ErrNoSid           = errors.New("core: no session identifier (call SecureConnection first)")
+	ErrNotSecure       = errors.New("core: identity has no key pair (use PSE membership)")
+	ErrNoCredential    = errors.New("core: no broker-issued credential (call SecureLogin first)")
+	ErrPeerAdvInvalid  = errors.New("core: peer advertisement failed verification")
+	ErrLoginRejected   = errors.New("core: secure login rejected")
+	ErrCredUnexpected  = errors.New("core: issued credential does not match this peer")
+	ErrSenderUnknown   = errors.New("core: sender's signed advertisement unavailable")
+	ErrMessageTampered = errors.New("core: secure message failed verification")
+	ErrMessageReplayed = errors.New("core: secure message replayed")
+	ErrMessageStale    = errors.New("core: secure message outside freshness window")
+)
+
+// Option configures a SecureClient.
+type Option func(*SecureClient)
+
+// WithMode selects the envelope mode for outgoing secure messages
+// (default ModeFull — the paper's primitive).
+func WithMode(m Mode) Option { return func(s *SecureClient) { s.mode = m } }
+
+// WithChallengeSize sets the secureConnection challenge length in bytes.
+func WithChallengeSize(n int) Option { return func(s *SecureClient) { s.challengeSize = n } }
+
+// WithReplayGuard enables receive-side replay protection for the
+// messenger primitives — the paper leaves them stateless best-effort;
+// this is the further-work hardening (see ReplayGuard).
+func WithReplayGuard(g *ReplayGuard) Option { return func(s *SecureClient) { s.replayGuard = g } }
+
+// SecureClient layers the paper's secure primitives over a client peer.
+// The embedded Client keeps every original primitive available, so an
+// application can be migrated one primitive at a time.
+type SecureClient struct {
+	*client.Client
+
+	kp    *keys.KeyPair
+	trust *cred.TrustStore
+	mode  Mode
+
+	challengeSize int
+	replayGuard   *ReplayGuard
+
+	mu         sync.RWMutex
+	sid        string
+	brokerCred *cred.Credential
+}
+
+// NewSecureClient wraps a client whose membership identity carries a key
+// pair (PSE). The trust store must be anchored at the deployment's
+// administrator credential.
+func NewSecureClient(cl *client.Client, trust *cred.TrustStore, opts ...Option) (*SecureClient, error) {
+	id := cl.Identity()
+	if !id.Secure() {
+		return nil, ErrNotSecure
+	}
+	s := &SecureClient{
+		Client:        cl,
+		kp:            id.Keys,
+		trust:         trust,
+		mode:          ModeFull,
+		challengeSize: 32,
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	cl.SetEnvelopeHandler(s.handleEnvelope)
+	return s, nil
+}
+
+// Sid returns the current session identifier ("" before
+// SecureConnection or after SecureLogin consumes it).
+func (s *SecureClient) Sid() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sid
+}
+
+// BrokerCredential returns the verified broker credential.
+func (s *SecureClient) BrokerCredential() *cred.Credential {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.brokerCred
+}
+
+// Mode returns the configured envelope mode.
+func (s *SecureClient) Mode() Mode { return s.mode }
+
+// SecureConnection implements §4.2.1: locate the broker, then
+// authenticate it with a random challenge. On success the broker's
+// credential and the fresh session identifier are stored; on failure the
+// broker is treated as illegitimate and the connection is abandoned.
+func (s *SecureClient) SecureConnection(ctx context.Context, brokerID keys.PeerID) error {
+	// Step 1: wait for a broker and open the connection.
+	if err := s.Connect(ctx, brokerID); err != nil {
+		return err
+	}
+	// Step 2: choose a random challenge.
+	chall, err := keys.RandomBytes(s.challengeSize)
+	if err != nil {
+		return err
+	}
+	// Step 3: Cl → Br {chall}.
+	msg := endpoint.NewMessage().
+		AddString(proto.ElemOp, proto.OpSecureConnect).
+		Add(proto.ElemChallenge, chall)
+	resp, err := s.Call(ctx, msg)
+	if err != nil {
+		s.reject(brokerID, "no secure connection response")
+		return fmt.Errorf("%w: %v", ErrBrokerNotLegit, err)
+	}
+	// Step 5 response: {sid, S_SKBr(chall), Cred_Br^Adm}.
+	sid, _ := resp.GetString(proto.ElemSid)
+	sig, _ := resp.Get(proto.ElemSig)
+	credRaw, ok := resp.Get(proto.ElemCred)
+	if sid == "" || len(sig) == 0 || !ok {
+		s.reject(brokerID, "incomplete secure connection response")
+		return ErrBrokerNotLegit
+	}
+	credDoc, err := xmldoc.ParseBytes(credRaw)
+	if err != nil {
+		s.reject(brokerID, "malformed broker credential")
+		return ErrBrokerNotLegit
+	}
+	brCred, err := cred.Parse(credDoc)
+	if err != nil {
+		s.reject(brokerID, "malformed broker credential")
+		return ErrBrokerNotLegit
+	}
+	// Step 6: check Cred_Br^Adm authenticity using PK_Adm.
+	if err := s.trust.Verify(brCred, time.Now()); err != nil || brCred.Role != cred.RoleBroker {
+		s.reject(brokerID, "broker credential not issued by administrator")
+		return ErrBrokerNotLegit
+	}
+	// Step 7: check S_SKBr(chall) using PK_Br from the credential.
+	if err := brCred.Key.Verify(chall, sig); err != nil {
+		s.reject(brokerID, "broker does not possess SK_Br (impersonator)")
+		return ErrBrokerNotLegit
+	}
+	// Brokers with CBIDs also get the key/ID binding check.
+	if keys.IsCBID(brCred.Subject) {
+		if err := brCred.VerifyCBID(); err != nil {
+			s.reject(brokerID, "broker credential CBID mismatch")
+			return ErrBrokerNotLegit
+		}
+	}
+	// Step 8-9: broker is legitimate; store sid and Cred_Br.
+	s.mu.Lock()
+	s.sid = sid
+	s.brokerCred = brCred
+	s.mu.Unlock()
+	s.trust.AddIssuer(brCred)
+	s.Bus().Emit(events.Event{Type: events.BrokerVerified, From: brokerID, Payload: map[string]string{
+		"broker": brCred.SubjectName,
+	}})
+	return nil
+}
+
+func (s *SecureClient) reject(brokerID keys.PeerID, reason string) {
+	s.Bus().Emit(events.Event{Type: events.BrokerRejected, From: brokerID, Payload: map[string]string{
+		"reason": reason,
+	}})
+}
+
+// SecureLogin implements §4.2.2: the login request is signed with the
+// client's key, bundled with the session identifier, and encrypted to
+// the verified broker's public key. On success the broker-issued
+// credential is installed and every advertisement published from now on
+// is signed.
+func (s *SecureClient) SecureLogin(ctx context.Context, password string) error {
+	s.mu.Lock()
+	sid := s.sid
+	brCred := s.brokerCred
+	s.sid = "" // single use, mirroring the broker
+	s.mu.Unlock()
+	if brCred == nil {
+		return ErrNoCredential
+	}
+	if sid == "" {
+		return ErrNoSid
+	}
+	keyB64, err := s.kp.Public().MarshalBase64()
+	if err != nil {
+		return err
+	}
+	// Step 1: req = S_SKCl(username, password, PKCl).
+	doc := xmldoc.New("SecureLoginRequest", "")
+	doc.AddText("User", s.Username())
+	doc.AddText("Pass", password)
+	doc.AddText("PeerID", string(s.PeerID()))
+	doc.AddText("Key", keyB64)
+	doc.AddText("Sid", sid)
+	sig, err := s.kp.Sign(doc.Canonical())
+	if err != nil {
+		return err
+	}
+	doc.AddText("Signature", base64.StdEncoding.EncodeToString(sig))
+
+	// Step 3: Cl → Br {E_PKBr(req, sid)}.
+	env, err := brCred.Key.Encrypt(doc.Canonical())
+	if err != nil {
+		return err
+	}
+	msg := endpoint.NewMessage().
+		AddString(proto.ElemOp, proto.OpSecureLogin).
+		Add(proto.ElemEnvelope, env.Marshal())
+	resp, err := s.Call(ctx, msg)
+	if err != nil {
+		s.Bus().Emit(events.Event{Type: events.LoginFailed, From: s.Broker()})
+		return fmt.Errorf("%w: %v", ErrLoginRejected, err)
+	}
+
+	// Step 9-10: receive and validate cr = Cred_Cl^Br.
+	credRaw, ok := resp.Get(proto.ElemCred)
+	if !ok {
+		return ErrLoginRejected
+	}
+	credDoc, err := xmldoc.ParseBytes(credRaw)
+	if err != nil {
+		return ErrLoginRejected
+	}
+	myCred, err := cred.Parse(credDoc)
+	if err != nil {
+		return ErrLoginRejected
+	}
+	if !myCred.Key.Equal(s.kp.Public()) || myCred.Subject != s.PeerID() {
+		return ErrCredUnexpected
+	}
+	if err := myCred.Verify(brCred.Key, time.Now()); err != nil {
+		return ErrCredUnexpected
+	}
+
+	// Install the credential into the identity (and keystore, for PSE).
+	if pse, ok := s.Membership().(*membership.PSE); ok {
+		if err := pse.SetCredential(myCred, brCred); err != nil {
+			return err
+		}
+	} else {
+		id := s.Identity()
+		id.Credential = myCred
+		id.Chain = []*cred.Credential{myCred, brCred}
+	}
+
+	// From here on, everything published is signed with the chain.
+	s.SetAdvSigner(func(doc *xmldoc.Element) error {
+		return xdsig.Sign(doc, s.kp, myCred, brCred)
+	})
+
+	groupsCSV, _ := resp.GetString(proto.ElemGroups)
+	return s.FinishLogin(ctx, splitCSV(groupsCSV))
+}
+
+// SecureMsgPeer implements §4.3.1: fetch and verify the destination's
+// signed pipe advertisement, extract PK from the enclosed credential,
+// then send E_PK(m, S_SK(m)).
+func (s *SecureClient) SecureMsgPeer(ctx context.Context, peer keys.PeerID, group, text string) error {
+	recipientKey, pipeAdv, err := s.verifiedPeerKey(ctx, peer, group)
+	if err != nil {
+		return err
+	}
+	sealed, err := Seal(s.kp, s.PeerID(), group, []byte(text), recipientKey, s.mode)
+	if err != nil {
+		return err
+	}
+	msg := endpoint.NewMessage().
+		Add(proto.ElemEnvelope, sealed.Bytes()).
+		AddString(proto.ElemGroup, group)
+	return s.Control().SendOnPipe(pipeAdv, msg)
+}
+
+// SecureMsgPeerGroup iterates SecureMsgPeer over the group's online
+// members, exactly as the standard primitive does (§4.3.1).
+func (s *SecureClient) SecureMsgPeerGroup(ctx context.Context, group, text string) (int, error) {
+	members, err := s.GetOnlinePeers(ctx, group)
+	if err != nil {
+		return 0, err
+	}
+	sent := 0
+	var firstErr error
+	for _, m := range members {
+		if m.ID == s.PeerID() {
+			continue
+		}
+		if err := s.SecureMsgPeer(ctx, m.ID, group, text); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		sent++
+	}
+	return sent, firstErr
+}
+
+// verifiedPeerKey resolves a peer's signed pipe advertisement and
+// returns the certified public key (steps 1-3 of §4.3.1).
+func (s *SecureClient) verifiedPeerKey(ctx context.Context, peer keys.PeerID, group string) (*keys.PublicKey, *advert.Pipe, error) {
+	pipeAdv, rawDoc, err := s.LookupPipe(ctx, peer, group)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := xdsig.VerifyTrusted(rawDoc, s.trust, time.Now())
+	if err != nil {
+		s.Bus().Emit(events.Event{Type: events.SecurityAlert, From: peer, Group: group, Payload: map[string]string{
+			"reason": "pipe advertisement failed verification: " + err.Error(),
+		}})
+		return nil, nil, fmt.Errorf("%w: %v", ErrPeerAdvInvalid, err)
+	}
+	if err := CheckAdvOwnership(rawDoc, res.Signer.Subject); err != nil || res.Signer.Subject != peer {
+		s.Bus().Emit(events.Event{Type: events.SecurityAlert, From: peer, Group: group, Payload: map[string]string{
+			"reason": "pipe advertisement signer does not own the advertisement",
+		}})
+		return nil, nil, ErrPeerAdvInvalid
+	}
+	return res.Signer.Key, pipeAdv, nil
+}
+
+// handleEnvelope is the receiving side of §4.3.1 (steps 5-7): decrypt
+// with the own private key, then authenticate the sender through its
+// signed pipe advertisement.
+func (s *SecureClient) handleEnvelope(group string, d pipes.Delivery) bool {
+	wire, ok := d.Msg.Get(proto.ElemEnvelope)
+	if !ok {
+		return false
+	}
+	opened, err := Open(s.kp, wire)
+	if err != nil {
+		s.Bus().Emit(events.Event{Type: events.SecurityAlert, From: d.From, Group: group, Payload: map[string]string{
+			"reason": "secure envelope rejected: " + err.Error(),
+		}})
+		return true
+	}
+	if s.replayGuard != nil {
+		if err := s.replayGuard.Check(wire, opened.SentAt); err != nil {
+			s.Bus().Emit(events.Event{Type: events.SecurityAlert, From: opened.Sender, Group: group, Payload: map[string]string{
+				"reason": err.Error(),
+			}})
+			return true
+		}
+	}
+	authenticated := false
+	user := ""
+	if opened.Signed() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		senderKey, senderCred, err := s.senderKey(ctx, opened.Sender, group)
+		cancel()
+		if err != nil {
+			s.Bus().Emit(events.Event{Type: events.SecurityAlert, From: opened.Sender, Group: group, Payload: map[string]string{
+				"reason": ErrSenderUnknown.Error(),
+			}})
+			return true
+		}
+		if err := opened.VerifySignature(senderKey); err != nil {
+			s.Bus().Emit(events.Event{Type: events.SecurityAlert, From: opened.Sender, Group: group, Payload: map[string]string{
+				"reason": ErrMessageTampered.Error(),
+			}})
+			return true
+		}
+		authenticated = true
+		user = senderCred.SubjectName
+	}
+	s.Bus().Emit(events.Event{
+		Type:  events.SecureMessage,
+		From:  opened.Sender,
+		Group: group,
+		Payload: map[string]string{
+			"authenticated": boolStr(authenticated),
+			"mode":          opened.Mode.String(),
+			"user":          user,
+		},
+		Data: opened.Body,
+	})
+	return true
+}
+
+// senderKey resolves the sender's certified key via its signed pipe
+// advertisement (steps 6-7 of §4.3.1).
+func (s *SecureClient) senderKey(ctx context.Context, sender keys.PeerID, group string) (*keys.PublicKey, *cred.Credential, error) {
+	_, rawDoc, err := s.LookupPipe(ctx, sender, group)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := xdsig.VerifyTrusted(rawDoc, s.trust, time.Now())
+	if err != nil {
+		return nil, nil, err
+	}
+	if res.Signer.Subject != sender {
+		return nil, nil, ErrPeerAdvInvalid
+	}
+	return res.Signer.Key, res.Signer, nil
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "true"
+	}
+	return "false"
+}
+
+func splitCSV(s string) []string {
+	if s == "" {
+		return nil
+	}
+	out := []string{}
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return out
+}

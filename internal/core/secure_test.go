@@ -1,0 +1,529 @@
+package core_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"jxtaoverlay/internal/broker"
+	"jxtaoverlay/internal/client"
+	"jxtaoverlay/internal/core"
+	"jxtaoverlay/internal/cred"
+	"jxtaoverlay/internal/endpoint"
+	"jxtaoverlay/internal/events"
+	"jxtaoverlay/internal/keys"
+	"jxtaoverlay/internal/membership"
+	"jxtaoverlay/internal/proto"
+	"jxtaoverlay/internal/simnet"
+	"jxtaoverlay/internal/userdb"
+	"jxtaoverlay/internal/xdsig"
+)
+
+// secureHarness is a full §4.1 deployment: administrator, credentialed
+// broker with the security extension, user database, PSE clients.
+type secureHarness struct {
+	t       *testing.T
+	net     *simnet.Network
+	dep     *core.Deployment
+	br      *broker.Broker
+	brSec   *core.BrokerSecurity
+	brKP    *keys.KeyPair
+	brCred  *cred.Credential
+	db      *userdb.Store
+	signAdv bool
+}
+
+func newSecureHarness(t *testing.T, requireSigned bool) *secureHarness {
+	t.Helper()
+	h := &secureHarness{t: t, signAdv: requireSigned}
+	h.net = simnet.NewNetwork(simnet.ProfileLocal)
+	t.Cleanup(h.net.Close)
+
+	var err error
+	h.dep, err = core.NewDeployment("uoc-admin", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.db = userdb.NewStoreIter(4)
+	h.db.Register("alice", "pw-alice", "math")
+	h.db.Register("bob", "pw-bob", "math")
+
+	h.brKP, err = keys.NewKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.brCred, err = h.dep.IssueBrokerCredential(h.brKP.Public(), "broker-1", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trust, err := h.dep.TrustStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.br, err = broker.New(broker.Config{
+		Name:   "broker-1",
+		PeerID: h.brCred.Subject,
+		Net:    h.net,
+		DB: broker.AuthenticatorFunc(func(_ context.Context, u, p string) ([]string, error) {
+			return h.db.Authenticate(u, p)
+		}),
+		RequireSecureLogin: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(h.br.Close)
+	h.brSec, err = core.EnableBrokerSecurity(h.br, core.BrokerConfig{
+		KeyPair:           h.brKP,
+		Credential:        h.brCred,
+		Trust:             trust,
+		RequireSignedAdvs: requireSigned,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func (h *secureHarness) secureClient(alias string, opts ...core.Option) *core.SecureClient {
+	h.t.Helper()
+	cl, err := client.New(h.net, membership.NewPSE("", 0), alias)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	h.t.Cleanup(cl.Close)
+	trust, err := h.dep.TrustStore()
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	sc, err := core.NewSecureClient(cl, trust, opts...)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	return sc
+}
+
+func (h *secureHarness) join(sc *core.SecureClient, password string) {
+	h.t.Helper()
+	ctx := testCtx(h.t)
+	if err := sc.SecureConnection(ctx, h.br.PeerID()); err != nil {
+		h.t.Fatalf("SecureConnection: %v", err)
+	}
+	if err := sc.SecureLogin(ctx, password); err != nil {
+		h.t.Fatalf("SecureLogin: %v", err)
+	}
+}
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestSecureConnection(t *testing.T) {
+	h := newSecureHarness(t, true)
+	sc := h.secureClient("alice")
+	col := events.NewCollector(sc.Bus())
+	ctx := testCtx(t)
+	if err := sc.SecureConnection(ctx, h.br.PeerID()); err != nil {
+		t.Fatalf("SecureConnection: %v", err)
+	}
+	if sc.Sid() == "" {
+		t.Fatal("no session identifier stored")
+	}
+	if sc.BrokerCredential() == nil || sc.BrokerCredential().SubjectName != "broker-1" {
+		t.Fatal("broker credential not stored")
+	}
+	if _, ok := col.WaitFor(events.BrokerVerified, 5*time.Second); !ok {
+		t.Fatal("no BrokerVerified event")
+	}
+	if h.brSec.PendingSids() != 1 {
+		t.Fatalf("pending sids = %d", h.brSec.PendingSids())
+	}
+}
+
+func TestSecureConnectionRejectsFakeBroker(t *testing.T) {
+	// The DNS-spoofing scenario of §2.3: traffic is redirected to a
+	// broker that does not hold an administrator-issued credential.
+	h := newSecureHarness(t, true)
+
+	fakeDep, err := core.NewDeployment("evil-admin", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fakeKP, _ := keys.NewKeyPair()
+	fakeCred, err := fakeDep.IssueBrokerCredential(fakeKP.Public(), "broker-1", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fakeTrust, _ := fakeDep.TrustStore()
+	fakeBroker, err := broker.New(broker.Config{
+		Name:   "broker-1", // same well-known name!
+		PeerID: fakeCred.Subject,
+		Net:    h.net,
+		DB: broker.AuthenticatorFunc(func(_ context.Context, u, p string) ([]string, error) {
+			return []string{"math"}, nil // accepts anyone, to harvest credentials
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fakeBroker.Close)
+	if _, err := core.EnableBrokerSecurity(fakeBroker, core.BrokerConfig{
+		KeyPair: fakeKP, Credential: fakeCred, Trust: fakeTrust,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	sc := h.secureClient("alice")
+	col := events.NewCollector(sc.Bus())
+	ctx := testCtx(t)
+	err = sc.SecureConnection(ctx, fakeBroker.PeerID())
+	if err == nil {
+		t.Fatal("secureConnection accepted a fake broker")
+	}
+	if _, ok := col.WaitFor(events.BrokerRejected, 5*time.Second); !ok {
+		t.Fatal("no BrokerRejected event")
+	}
+	if sc.Sid() != "" {
+		t.Fatal("sid stored despite rejection")
+	}
+}
+
+func TestSecureConnectionRejectsKeylessImpersonator(t *testing.T) {
+	// An attacker replays the real broker's credential but cannot sign
+	// the fresh challenge without SK_Br.
+	h := newSecureHarness(t, true)
+	realCredDoc, err := h.brCred.Document()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	impKP, _ := keys.NewKeyPair()
+	impID, _ := keys.CBID(impKP.Public())
+	impDB := broker.AuthenticatorFunc(func(_ context.Context, u, p string) ([]string, error) {
+		return nil, nil
+	})
+	imp, err := broker.New(broker.Config{Name: "broker-1", PeerID: impID, Net: h.net, DB: impDB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(imp.Close)
+	// The impersonator answers secureConnection with the stolen
+	// credential and a signature under its own key.
+	imp.RegisterOp(proto.OpSecureConnect, func(_ keys.PeerID, msg *endpoint.Message) *endpoint.Message {
+		chall, _ := msg.Get(proto.ElemChallenge)
+		sig, _ := impKP.Sign(chall)
+		return proto.OK().
+			AddString(proto.ElemSid, "deadbeef").
+			Add(proto.ElemSig, sig).
+			AddXML(proto.ElemCred, realCredDoc.Canonical())
+	})
+
+	sc := h.secureClient("alice")
+	ctx := testCtx(t)
+	if err := sc.SecureConnection(ctx, imp.PeerID()); err == nil {
+		t.Fatal("secureConnection accepted an impersonator without SK_Br")
+	}
+}
+
+func TestSecureLogin(t *testing.T) {
+	h := newSecureHarness(t, true)
+	sc := h.secureClient("alice")
+	h.join(sc, "pw-alice")
+
+	if !sc.LoggedIn() {
+		t.Fatal("not logged in")
+	}
+	id := sc.Identity()
+	if id.Credential == nil {
+		t.Fatal("no credential issued")
+	}
+	if id.Credential.SubjectName != "alice" || id.Credential.Role != cred.RoleClient {
+		t.Fatalf("credential = %+v", id.Credential)
+	}
+	if id.Credential.Issuer != h.brCred.Subject {
+		t.Fatal("credential not issued by broker")
+	}
+	// Sid must be consumed on both sides.
+	if sc.Sid() != "" {
+		t.Fatal("client kept the sid")
+	}
+	if h.brSec.PendingSids() != 0 {
+		t.Fatal("broker kept the sid")
+	}
+	if got := sc.Groups(); len(got) != 1 || got[0] != "math" {
+		t.Fatalf("groups = %v", got)
+	}
+}
+
+func TestSecureLoginWrongPassword(t *testing.T) {
+	h := newSecureHarness(t, true)
+	sc := h.secureClient("alice")
+	ctx := testCtx(t)
+	if err := sc.SecureConnection(ctx, h.br.PeerID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.SecureLogin(ctx, "wrong"); err == nil {
+		t.Fatal("secureLogin with wrong password succeeded")
+	}
+	if sc.LoggedIn() {
+		t.Fatal("client believes it is logged in")
+	}
+}
+
+func TestSecureLoginRequiresSecureConnection(t *testing.T) {
+	h := newSecureHarness(t, true)
+	sc := h.secureClient("alice")
+	ctx := testCtx(t)
+	if err := sc.SecureLogin(ctx, "pw-alice"); err == nil {
+		t.Fatal("secureLogin without secureConnection succeeded")
+	}
+}
+
+func TestSidIsSingleUse(t *testing.T) {
+	h := newSecureHarness(t, true)
+	sc := h.secureClient("alice")
+	h.join(sc, "pw-alice")
+	// A second login without a fresh secureConnection must fail: the sid
+	// was consumed.
+	ctx := testCtx(t)
+	if err := sc.SecureLogin(ctx, "pw-alice"); err == nil {
+		t.Fatal("second secureLogin with consumed sid succeeded")
+	}
+	// After re-running secureConnection, login works again.
+	if err := sc.SecureConnection(ctx, h.br.PeerID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.SecureLogin(ctx, "pw-alice"); err != nil {
+		t.Fatalf("re-login after fresh secureConnection: %v", err)
+	}
+}
+
+func TestPlainLoginRejectedWhenSecureRequired(t *testing.T) {
+	h := newSecureHarness(t, true)
+	sc := h.secureClient("alice")
+	ctx := testCtx(t)
+	if err := sc.Connect(ctx, h.br.PeerID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Login(ctx, "pw-alice"); err == nil {
+		t.Fatal("plaintext login accepted by secure-only broker")
+	}
+}
+
+func TestSecureLoginPasswordNeverInClear(t *testing.T) {
+	h := newSecureHarness(t, true)
+	var wire []byte
+	h.net.AddTap(func(p simnet.Packet) { wire = append(wire, p.Payload...) })
+	sc := h.secureClient("alice")
+	h.join(sc, "pw-alice")
+	if bytes.Contains(wire, []byte("pw-alice")) {
+		t.Fatal("password appeared in clear on the wire during secureLogin")
+	}
+}
+
+func TestPipeAdvertisementsSignedAfterLogin(t *testing.T) {
+	h := newSecureHarness(t, true)
+	sc := h.secureClient("alice")
+	h.join(sc, "pw-alice")
+	// The broker's index must hold a signed, trusted pipe advertisement.
+	recs := h.br.Cache().Find("PipeAdvertisement", nil)
+	if len(recs) == 0 {
+		t.Fatal("broker has no pipe advertisements")
+	}
+	trust, _ := h.dep.TrustStore()
+	res, err := xdsig.VerifyTrusted(recs[0].Doc, trust, time.Now())
+	if err != nil {
+		t.Fatalf("published pipe advertisement not verifiable: %v", err)
+	}
+	if res.Signer.Subject != sc.PeerID() {
+		t.Fatal("advertisement signed by someone else")
+	}
+}
+
+func TestSecureMsgPeer(t *testing.T) {
+	h := newSecureHarness(t, true)
+	alice := h.secureClient("alice")
+	bob := h.secureClient("bob")
+	h.join(alice, "pw-alice")
+	h.join(bob, "pw-bob")
+	bobEvents := events.NewCollector(bob.Bus())
+
+	ctx := testCtx(t)
+	if err := alice.SecureMsgPeer(ctx, bob.PeerID(), "math", "confidential hello"); err != nil {
+		t.Fatalf("SecureMsgPeer: %v", err)
+	}
+	e, ok := bobEvents.WaitFor(events.SecureMessage, 5*time.Second)
+	if !ok {
+		t.Fatal("no SecureMessage event")
+	}
+	if string(e.Data) != "confidential hello" {
+		t.Fatalf("body = %q", e.Data)
+	}
+	if e.Attr("authenticated") != "true" {
+		t.Fatal("message not authenticated")
+	}
+	if e.Attr("user") != "alice" {
+		t.Fatalf("sender user = %q", e.Attr("user"))
+	}
+	if e.From != alice.PeerID() {
+		t.Fatalf("sender = %q", e.From)
+	}
+}
+
+func TestSecureMsgPeerConfidentialOnWire(t *testing.T) {
+	h := newSecureHarness(t, true)
+	alice := h.secureClient("alice")
+	bob := h.secureClient("bob")
+	h.join(alice, "pw-alice")
+	h.join(bob, "pw-bob")
+
+	var wire []byte
+	h.net.AddTap(func(p simnet.Packet) { wire = append(wire, p.Payload...) })
+	ctx := testCtx(t)
+	secret := "eyes-only-payload-marker"
+	if err := alice.SecureMsgPeer(ctx, bob.PeerID(), "math", secret); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(wire, []byte(secret)) {
+		t.Fatal("secure message payload visible on the wire")
+	}
+}
+
+func TestSecureMsgPeerGroup(t *testing.T) {
+	h := newSecureHarness(t, true)
+	h.db.Register("carol", "pw-carol", "math")
+	alice := h.secureClient("alice")
+	bob := h.secureClient("bob")
+	carol := h.secureClient("carol")
+	h.join(alice, "pw-alice")
+	h.join(bob, "pw-bob")
+	h.join(carol, "pw-carol")
+	bobEvents := events.NewCollector(bob.Bus())
+	carolEvents := events.NewCollector(carol.Bus())
+
+	ctx := testCtx(t)
+	sent, err := alice.SecureMsgPeerGroup(ctx, "math", "team update")
+	if err != nil {
+		t.Fatalf("SecureMsgPeerGroup: %v", err)
+	}
+	if sent != 2 {
+		t.Fatalf("sent = %d, want 2", sent)
+	}
+	if _, ok := bobEvents.WaitFor(events.SecureMessage, 5*time.Second); !ok {
+		t.Fatal("bob missed the group message")
+	}
+	if _, ok := carolEvents.WaitFor(events.SecureMessage, 5*time.Second); !ok {
+		t.Fatal("carol missed the group message")
+	}
+}
+
+func TestBrokerRejectsUnsignedAdvWhenRequired(t *testing.T) {
+	h := newSecureHarness(t, true)
+	alice := h.secureClient("alice")
+	h.join(alice, "pw-alice")
+	ctx := testCtx(t)
+	// Bypass the signer: publish a raw unsigned document.
+	pres := presenceAdv(alice.PeerID(), "math")
+	if err := alice.PublishAdvDoc(ctx, pres); err == nil {
+		t.Fatal("broker accepted an unsigned advertisement")
+	}
+}
+
+func TestBrokerRejectsForeignSignedAdv(t *testing.T) {
+	// Mallory (validly logged in) signs an advertisement describing
+	// alice's peer ID: ownership check must reject it.
+	h := newSecureHarness(t, true)
+	h.db.Register("mallory", "pw-m", "math")
+	alice := h.secureClient("alice")
+	mallory := h.secureClient("mallory")
+	h.join(alice, "pw-alice")
+	h.join(mallory, "pw-m")
+
+	ctx := testCtx(t)
+	forged := presenceAdv(alice.PeerID(), "math") // claims to be alice
+	mID := mallory.Identity()
+	if err := xdsig.Sign(forged, mID.Keys, mID.Credential, h.brCred); err != nil {
+		t.Fatal(err)
+	}
+	if err := mallory.PublishAdvDoc(ctx, forged); err == nil {
+		t.Fatal("broker propagated an advertisement signed by a non-owner")
+	}
+}
+
+func TestSecureMsgRejectsUnsignedPipeAdv(t *testing.T) {
+	// Without signed-adv enforcement at the broker, a client may still
+	// receive an unsigned pipe advertisement; secureMsgPeer must refuse
+	// to use it (§4.3.1 step 2).
+	h := newSecureHarness(t, false)
+	alice := h.secureClient("alice")
+	bob := h.secureClient("bob")
+	h.join(alice, "pw-alice")
+	h.join(bob, "pw-bob")
+
+	// Poison alice's cache with an unsigned pipe adv for bob.
+	ctx := testCtx(t)
+	pipeAdv, _, err := alice.LookupPipe(ctx, bob.PeerID(), "math")
+	if err != nil {
+		t.Fatal(err)
+	}
+	unsignedDoc, err := pipeAdv.Document()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alice.Cache().Put(unsignedDoc); err != nil {
+		t.Fatal(err)
+	}
+	alerts := events.NewCollector(alice.Bus())
+	if err := alice.SecureMsgPeer(ctx, bob.PeerID(), "math", "x"); err == nil {
+		t.Fatal("secureMsgPeer used an unsigned pipe advertisement")
+	}
+	if _, ok := alerts.WaitFor(events.SecurityAlert, 5*time.Second); !ok {
+		t.Fatal("no security alert for invalid advertisement")
+	}
+}
+
+func TestModeAblation(t *testing.T) {
+	for _, mode := range []core.Mode{core.ModeFull, core.ModeSign, core.ModeEncrypt} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			h := newSecureHarness(t, true)
+			alice := h.secureClient("alice", core.WithMode(mode))
+			bob := h.secureClient("bob")
+			h.join(alice, "pw-alice")
+			h.join(bob, "pw-bob")
+			bobEvents := events.NewCollector(bob.Bus())
+			ctx := testCtx(t)
+			if err := alice.SecureMsgPeer(ctx, bob.PeerID(), "math", "payload"); err != nil {
+				t.Fatal(err)
+			}
+			e, ok := bobEvents.WaitFor(events.SecureMessage, 5*time.Second)
+			if !ok {
+				t.Fatal("message not delivered")
+			}
+			wantAuth := "true"
+			if mode == core.ModeEncrypt {
+				wantAuth = "false"
+			}
+			if e.Attr("authenticated") != wantAuth {
+				t.Fatalf("authenticated = %q (mode %s)", e.Attr("authenticated"), mode)
+			}
+		})
+	}
+}
+
+func TestNewSecureClientRequiresKeys(t *testing.T) {
+	h := newSecureHarness(t, true)
+	cl, err := client.New(h.net, membership.NewNone(), "plain-user")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	trust, _ := h.dep.TrustStore()
+	if _, err := core.NewSecureClient(cl, trust); err == nil {
+		t.Fatal("NewSecureClient accepted a keyless identity")
+	}
+}

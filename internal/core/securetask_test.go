@@ -1,0 +1,104 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"jxtaoverlay/internal/core"
+	"jxtaoverlay/internal/taskexec"
+)
+
+func taskRegistry() *taskexec.Registry {
+	reg := taskexec.NewRegistry()
+	reg.Register("upper", func(args []string) (string, error) {
+		return strings.ToUpper(strings.Join(args, " ")), nil
+	})
+	return reg
+}
+
+func TestSecureExecTask(t *testing.T) {
+	h := newSecureHarness(t, true)
+	alice := h.secureClient("alice")
+	bob := h.secureClient("bob")
+	h.join(alice, "pw-alice")
+	h.join(bob, "pw-bob")
+	bob.EnableSecureTasks(taskRegistry())
+
+	ctx := testCtx(t)
+	out, err := alice.SecureExecTask(ctx, bob.PeerID(), "math", "upper", []string{"hello", "world"})
+	if err != nil {
+		t.Fatalf("SecureExecTask: %v", err)
+	}
+	if out != "HELLO WORLD" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestSecureExecTaskUnknownTask(t *testing.T) {
+	h := newSecureHarness(t, true)
+	alice := h.secureClient("alice")
+	bob := h.secureClient("bob")
+	h.join(alice, "pw-alice")
+	h.join(bob, "pw-bob")
+	bob.EnableSecureTasks(taskRegistry())
+
+	ctx := testCtx(t)
+	if _, err := alice.SecureExecTask(ctx, bob.PeerID(), "math", "rm-rf", nil); err == nil {
+		t.Fatal("unknown task executed")
+	}
+}
+
+func TestSecureExecTaskRejectsOutsider(t *testing.T) {
+	// Carol is valid on the network but in a different group ("art"):
+	// the group-membership policy must block her.
+	h := newSecureHarness(t, true)
+	h.db.Register("carol", "pw-carol", "art")
+	alice := h.secureClient("alice")
+	carol := h.secureClient("carol")
+	h.join(alice, "pw-alice")
+	h.join(carol, "pw-carol")
+	alice.EnableSecureTasks(taskRegistry())
+
+	ctx := testCtx(t)
+	// Carol claims group "math" in her envelope, but alice (the executor)
+	// checks her own membership AND carol has no pipe advertisement in
+	// math — either way the call must fail.
+	if _, err := carol.SecureExecTask(ctx, alice.PeerID(), "math", "upper", []string{"x"}); err == nil {
+		t.Fatal("outsider executed a secure task")
+	}
+}
+
+func TestSecureExecTaskRejectsPlainEnvelope(t *testing.T) {
+	// An encrypt-only (unsigned) envelope must be rejected: executable
+	// primitives demand source authentication.
+	h := newSecureHarness(t, true)
+	alice := h.secureClient("alice", core.WithMode(core.ModeEncrypt))
+	bob := h.secureClient("bob")
+	h.join(alice, "pw-alice")
+	h.join(bob, "pw-bob")
+	bob.EnableSecureTasks(taskRegistry())
+
+	ctx := testCtx(t)
+	if _, err := alice.SecureExecTask(ctx, bob.PeerID(), "math", "upper", []string{"x"}); err == nil {
+		t.Fatal("unsigned task request executed")
+	}
+}
+
+func TestSecureTaskResponseAuthenticated(t *testing.T) {
+	// The response envelope is signed by the executor; requester verifies.
+	h := newSecureHarness(t, true)
+	alice := h.secureClient("alice")
+	bob := h.secureClient("bob")
+	h.join(alice, "pw-alice")
+	h.join(bob, "pw-bob")
+	bob.EnableSecureTasks(taskRegistry())
+
+	ctx := testCtx(t)
+	out, err := alice.SecureExecTask(ctx, bob.PeerID(), "math", "upper", []string{"ok"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "OK" {
+		t.Fatalf("out = %q", out)
+	}
+}

@@ -1,0 +1,211 @@
+// Package cred implements the credential scheme of the security
+// extension (paper §4.1): XML credentials binding a peer identifier and
+// human name to a public key, signed by an issuer.
+//
+// Three kinds of credentials exist in a JXTA-Overlay deployment:
+//
+//   - the administrator's self-signed credential Cred_Adm^Adm, the trust
+//     anchor every peer is provisioned with;
+//   - broker credentials Cred_Br^Adm, issued by the administrator, which
+//     secureConnection uses to tell legitimate brokers from fakes;
+//   - client credentials Cred_Cl^Br, issued by a broker at secureLogin,
+//     which clients use as proof of identity until expiration.
+package cred
+
+import (
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"time"
+
+	"jxtaoverlay/internal/keys"
+	"jxtaoverlay/internal/xmldoc"
+)
+
+// Role describes what kind of entity a credential certifies.
+type Role string
+
+// Credential roles.
+const (
+	RoleAdmin    Role = "admin"
+	RoleBroker   Role = "broker"
+	RoleClient   Role = "client"
+	RoleDatabase Role = "database"
+)
+
+// ElementName is the XML element name of serialized credentials.
+const ElementName = "Credential"
+
+// Errors returned by verification.
+var (
+	ErrBadSignature = errors.New("cred: credential signature invalid")
+	ErrExpired      = errors.New("cred: credential expired or not yet valid")
+	ErrUntrusted    = errors.New("cred: issuer not trusted")
+	ErrRole         = errors.New("cred: unexpected credential role")
+)
+
+// Credential is the paper's Cred_i^j: subject i's identity and public
+// key, vouched for by issuer j's signature.
+type Credential struct {
+	// Subject is the peer ID the credential certifies (a CBID for
+	// secure peers).
+	Subject keys.PeerID
+	// SubjectName is the human name: the end-user's username for client
+	// credentials, a deployment name for brokers and the administrator.
+	SubjectName string
+	// Role states what the subject is allowed to act as.
+	Role Role
+	// Issuer is the peer ID of the signing entity.
+	Issuer keys.PeerID
+	// Key is the subject's public key.
+	Key *keys.PublicKey
+	// NotBefore/NotAfter bound the validity window.
+	NotBefore time.Time
+	NotAfter  time.Time
+	// Signature is the issuer's signature over the canonical body.
+	Signature []byte
+}
+
+// body returns the canonical signing input: the credential document
+// without its Signature child.
+func (c *Credential) body() ([]byte, error) {
+	doc, err := c.document(false)
+	if err != nil {
+		return nil, err
+	}
+	return doc.Canonical(), nil
+}
+
+func (c *Credential) document(withSig bool) (*xmldoc.Element, error) {
+	if c.Key == nil {
+		return nil, errors.New("cred: credential has no key")
+	}
+	keyB64, err := c.Key.MarshalBase64()
+	if err != nil {
+		return nil, err
+	}
+	doc := xmldoc.New(ElementName, "")
+	doc.AddText("Subject", string(c.Subject))
+	doc.AddText("SubjectName", c.SubjectName)
+	doc.AddText("Role", string(c.Role))
+	doc.AddText("Issuer", string(c.Issuer))
+	doc.AddText("Key", keyB64)
+	// Nanosecond precision: besides fidelity, it guarantees re-issued
+	// credentials differ even within the same second (renewal relies on
+	// this; RSASSA-PKCS1-v1_5 is deterministic).
+	doc.AddText("NotBefore", c.NotBefore.UTC().Format(time.RFC3339Nano))
+	doc.AddText("NotAfter", c.NotAfter.UTC().Format(time.RFC3339Nano))
+	if withSig {
+		doc.AddText("Signature", base64.StdEncoding.EncodeToString(c.Signature))
+	}
+	return doc, nil
+}
+
+// Document serializes the credential, signature included.
+func (c *Credential) Document() (*xmldoc.Element, error) {
+	return c.document(true)
+}
+
+// Parse reads a credential from its XML form. The signature is not
+// verified; call Verify or use a TrustStore.
+func Parse(doc *xmldoc.Element) (*Credential, error) {
+	if doc == nil || doc.Name != ElementName {
+		return nil, fmt.Errorf("cred: not a %s element", ElementName)
+	}
+	key, err := keys.ParsePublicBase64(doc.ChildText("Key"))
+	if err != nil {
+		return nil, fmt.Errorf("cred: key: %w", err)
+	}
+	nb, err := time.Parse(time.RFC3339Nano, doc.ChildText("NotBefore"))
+	if err != nil {
+		return nil, fmt.Errorf("cred: NotBefore: %w", err)
+	}
+	na, err := time.Parse(time.RFC3339Nano, doc.ChildText("NotAfter"))
+	if err != nil {
+		return nil, fmt.Errorf("cred: NotAfter: %w", err)
+	}
+	sig, err := base64.StdEncoding.DecodeString(doc.ChildText("Signature"))
+	if err != nil || len(sig) == 0 {
+		return nil, errors.New("cred: missing or malformed Signature")
+	}
+	return &Credential{
+		Subject:     keys.PeerID(doc.ChildText("Subject")),
+		SubjectName: doc.ChildText("SubjectName"),
+		Role:        Role(doc.ChildText("Role")),
+		Issuer:      keys.PeerID(doc.ChildText("Issuer")),
+		Key:         key,
+		NotBefore:   nb,
+		NotAfter:    na,
+		Signature:   sig,
+	}, nil
+}
+
+// Issue creates a credential for subject signed by the issuer's key.
+func Issue(issuer *keys.KeyPair, issuerID keys.PeerID, subject keys.PeerID, subjectName string, role Role, subjectKey *keys.PublicKey, validity time.Duration) (*Credential, error) {
+	now := time.Now().UTC()
+	c := &Credential{
+		Subject:     subject,
+		SubjectName: subjectName,
+		Role:        role,
+		Issuer:      issuerID,
+		Key:         subjectKey,
+		NotBefore:   now.Add(-time.Minute), // clock-skew grace
+		NotAfter:    now.Add(validity),
+	}
+	body, err := c.body()
+	if err != nil {
+		return nil, err
+	}
+	sig, err := issuer.Sign(body)
+	if err != nil {
+		return nil, err
+	}
+	c.Signature = sig
+	return c, nil
+}
+
+// SelfSigned creates the administrator's trust-anchor credential
+// Cred_Adm^Adm.
+func SelfSigned(kp *keys.KeyPair, name string, validity time.Duration) (*Credential, error) {
+	id, err := keys.CBID(kp.Public())
+	if err != nil {
+		return nil, err
+	}
+	return Issue(kp, id, id, name, RoleAdmin, kp.Public(), validity)
+}
+
+// Verify checks the credential signature against the issuer's public key
+// and the validity window against now.
+func (c *Credential) Verify(issuerKey *keys.PublicKey, now time.Time) error {
+	if now.Before(c.NotBefore) || now.After(c.NotAfter) {
+		return ErrExpired
+	}
+	body, err := c.body()
+	if err != nil {
+		return err
+	}
+	if err := issuerKey.Verify(body, c.Signature); err != nil {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// VerifyCBID checks the crypto-based binding between the credential's
+// subject ID and its key. Only meaningful for CBID subjects.
+func (c *Credential) VerifyCBID() error {
+	return keys.VerifyCBID(c.Subject, c.Key)
+}
+
+// Equal reports whether two credentials are byte-identical in canonical
+// form.
+func (c *Credential) Equal(o *Credential) bool {
+	if c == nil || o == nil {
+		return c == o
+	}
+	a, err1 := c.Document()
+	b, err2 := o.Document()
+	if err1 != nil || err2 != nil {
+		return false
+	}
+	return a.Equal(b)
+}

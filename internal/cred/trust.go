@@ -1,0 +1,124 @@
+package cred
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"jxtaoverlay/internal/keys"
+)
+
+// TrustStore verifies credentials and credential chains against a set of
+// anchors. Every JXTA-Overlay peer is provisioned with the
+// administrator's self-signed credential as its single anchor (paper
+// §4.1); brokers verified through it become intermediate issuers for
+// client credentials.
+type TrustStore struct {
+	mu      sync.RWMutex
+	anchors map[keys.PeerID]*Credential
+	// issuers caches verified intermediate credentials (brokers) so a
+	// client credential can be verified without re-presenting the broker
+	// credential every time.
+	issuers map[keys.PeerID]*Credential
+}
+
+// NewTrustStore creates a store trusting the given anchor credentials.
+// Anchors must be self-signed and internally consistent; invalid anchors
+// are rejected.
+func NewTrustStore(anchors ...*Credential) (*TrustStore, error) {
+	ts := &TrustStore{
+		anchors: make(map[keys.PeerID]*Credential),
+		issuers: make(map[keys.PeerID]*Credential),
+	}
+	for _, a := range anchors {
+		if a.Subject != a.Issuer {
+			return nil, fmt.Errorf("cred: anchor %q is not self-signed", a.Subject)
+		}
+		if err := a.Verify(a.Key, time.Now()); err != nil {
+			return nil, fmt.Errorf("cred: anchor %q: %w", a.Subject, err)
+		}
+		ts.anchors[a.Subject] = a
+	}
+	return ts, nil
+}
+
+// AddIssuer records a credential as an intermediate issuer after
+// verifying it against the store. Typically called with a broker
+// credential obtained during secureConnection.
+func (t *TrustStore) AddIssuer(c *Credential) error {
+	if err := t.Verify(c, time.Now()); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.issuers[c.Subject] = c
+	return nil
+}
+
+// IssuerKey returns the public key of a known anchor or verified
+// intermediate issuer.
+func (t *TrustStore) IssuerKey(id keys.PeerID) (*keys.PublicKey, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if a, ok := t.anchors[id]; ok {
+		return a.Key, true
+	}
+	if c, ok := t.issuers[id]; ok {
+		return c.Key, true
+	}
+	return nil, false
+}
+
+// Verify checks a single credential: its issuer must be a known anchor
+// or verified intermediate, and the signature and validity window must
+// hold.
+func (t *TrustStore) Verify(c *Credential, now time.Time) error {
+	key, ok := t.IssuerKey(c.Issuer)
+	if !ok {
+		return fmt.Errorf("%w: issuer %q", ErrUntrusted, c.Issuer)
+	}
+	return c.Verify(key, now)
+}
+
+// VerifyChain checks a credential chain leaf-first: chain[0] must be
+// signed by chain[1]'s subject, and so on, with the last element's
+// issuer being a trust anchor. Every link's validity window is enforced.
+// On success the intermediates are cached as issuers.
+func (t *TrustStore) VerifyChain(now time.Time, chain ...*Credential) error {
+	if len(chain) == 0 {
+		return fmt.Errorf("cred: empty chain")
+	}
+	for i, c := range chain {
+		if i+1 < len(chain) {
+			next := chain[i+1]
+			if c.Issuer != next.Subject {
+				return fmt.Errorf("cred: chain broken at %d: issuer %q != next subject %q", i, c.Issuer, next.Subject)
+			}
+			if err := c.Verify(next.Key, now); err != nil {
+				return fmt.Errorf("cred: chain link %d: %w", i, err)
+			}
+			continue
+		}
+		// Last link must chain to an anchor (or already-verified issuer).
+		if err := t.Verify(c, now); err != nil {
+			return fmt.Errorf("cred: chain root: %w", err)
+		}
+	}
+	t.mu.Lock()
+	for _, c := range chain[1:] {
+		t.issuers[c.Subject] = c
+	}
+	t.mu.Unlock()
+	return nil
+}
+
+// Anchors returns the anchor credentials (for diagnostics).
+func (t *TrustStore) Anchors() []*Credential {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]*Credential, 0, len(t.anchors))
+	for _, a := range t.anchors {
+		out = append(out, a)
+	}
+	return out
+}

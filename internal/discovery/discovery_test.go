@@ -1,0 +1,158 @@
+package discovery
+
+import (
+	"testing"
+	"time"
+
+	"jxtaoverlay/internal/advert"
+	"jxtaoverlay/internal/xmldoc"
+)
+
+func pipeAdv(id, group string) *advert.Pipe {
+	return &advert.Pipe{
+		PipeID:   id,
+		PipeType: advert.PipeUnicast,
+		PeerID:   "urn:jxta:cbid-1",
+		Group:    group,
+	}
+}
+
+func TestPutLookup(t *testing.T) {
+	c := NewCache()
+	if err := c.PutAdv(pipeAdv("urn:jxta:pipe-1", "g")); err != nil {
+		t.Fatalf("PutAdv: %v", err)
+	}
+	rec, err := c.Lookup(advert.TypePipe, "urn:jxta:pipe-1")
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	if rec.Adv.(*advert.Pipe).Group != "g" {
+		t.Fatalf("record = %+v", rec.Adv)
+	}
+	if _, err := c.Lookup(advert.TypePipe, "urn:jxta:pipe-404"); err != ErrNotFound {
+		t.Fatalf("Lookup missing = %v", err)
+	}
+}
+
+func TestPutReplacesSameID(t *testing.T) {
+	c := NewCache()
+	c.PutAdv(pipeAdv("urn:jxta:pipe-1", "old"))
+	c.PutAdv(pipeAdv("urn:jxta:pipe-1", "new"))
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	rec, err := c.Lookup(advert.TypePipe, "urn:jxta:pipe-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Adv.(*advert.Pipe).Group != "new" {
+		t.Fatal("Put did not replace record")
+	}
+}
+
+func TestPutRejectsGarbage(t *testing.T) {
+	c := NewCache()
+	if _, err := c.Put(xmldoc.New("Nonsense", "")); err == nil {
+		t.Fatal("Put accepted unknown advertisement")
+	}
+}
+
+func TestDocStoredVerbatim(t *testing.T) {
+	// The cache must preserve the received document (with signature),
+	// not a re-serialization.
+	c := NewCache()
+	adv := pipeAdv("urn:jxta:pipe-1", "g")
+	doc, _ := adv.Document()
+	doc.Add(xmldoc.New("Signature", "SIGBYTES"))
+	if _, err := c.Put(doc); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	rec, err := c.Lookup(advert.TypePipe, "urn:jxta:pipe-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Doc.Child("Signature") == nil {
+		t.Fatal("signature element lost in cache")
+	}
+	// And mutating the caller's doc must not reach the cache.
+	doc.Child("Signature").Text = "TAMPERED"
+	if rec.Doc.Child("Signature").Text != "SIGBYTES" {
+		t.Fatal("cache shares memory with caller document")
+	}
+}
+
+func TestExpiry(t *testing.T) {
+	c := NewCache()
+	now := time.Now()
+	c.SetClock(func() time.Time { return now })
+	c.PutAdv(pipeAdv("urn:jxta:pipe-1", "g"))
+	// Advance past the pipe advertisement lifetime.
+	now = now.Add(advert.DefaultLifetime + time.Second)
+	if _, err := c.Lookup(advert.TypePipe, "urn:jxta:pipe-1"); err != ErrNotFound {
+		t.Fatalf("Lookup expired = %v, want ErrNotFound", err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("expired record not evicted on lookup")
+	}
+}
+
+func TestSweep(t *testing.T) {
+	c := NewCache()
+	now := time.Now()
+	c.SetClock(func() time.Time { return now })
+	c.PutAdv(pipeAdv("urn:jxta:pipe-1", "g"))
+	c.PutAdv(pipeAdv("urn:jxta:pipe-2", "g"))
+	pres := &advert.Presence{PeerID: "urn:jxta:cbid-9", Group: "g", Status: advert.StatusOnline, Seen: now}
+	c.PutAdv(pres)
+	// Presence lifetime (2m) is shorter than pipe lifetime (15m).
+	now = now.Add(3 * time.Minute)
+	if n := c.Sweep(); n != 1 {
+		t.Fatalf("Sweep = %d, want 1", n)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len after sweep = %d", c.Len())
+	}
+}
+
+func TestFindFilterAndSort(t *testing.T) {
+	c := NewCache()
+	c.PutAdv(pipeAdv("urn:jxta:pipe-b", "g1"))
+	c.PutAdv(pipeAdv("urn:jxta:pipe-a", "g1"))
+	c.PutAdv(pipeAdv("urn:jxta:pipe-c", "g2"))
+	recs := c.Find(advert.TypePipe, func(a advert.Advertisement) bool {
+		return a.(*advert.Pipe).Group == "g1"
+	})
+	if len(recs) != 2 {
+		t.Fatalf("Find returned %d records", len(recs))
+	}
+	if recs[0].Adv.AdvID() != "urn:jxta:pipe-a" || recs[1].Adv.AdvID() != "urn:jxta:pipe-b" {
+		t.Fatal("Find output not sorted by AdvID")
+	}
+	all := c.Find(advert.TypePipe, nil)
+	if len(all) != 3 {
+		t.Fatalf("Find(nil) returned %d", len(all))
+	}
+	none := c.Find(advert.TypePeer, nil)
+	if len(none) != 0 {
+		t.Fatal("Find returned records of wrong type")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c := NewCache()
+	c.PutAdv(pipeAdv("urn:jxta:pipe-1", "g"))
+	c.Remove(advert.TypePipe, "urn:jxta:pipe-1")
+	if _, err := c.Lookup(advert.TypePipe, "urn:jxta:pipe-1"); err != ErrNotFound {
+		t.Fatal("record survived Remove")
+	}
+}
+
+func TestTypesDoNotCollide(t *testing.T) {
+	c := NewCache()
+	// Same AdvID string under two different types must coexist.
+	c.PutAdv(&advert.Presence{PeerID: "p", Group: "g", Status: advert.StatusOnline, Seen: time.Now()})
+	c.PutAdv(&advert.FileList{PeerID: "p", Group: "g"})
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}

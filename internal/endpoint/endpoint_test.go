@@ -1,0 +1,348 @@
+package endpoint
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"jxtaoverlay/internal/keys"
+	"jxtaoverlay/internal/simnet"
+)
+
+func TestMessageAccessors(t *testing.T) {
+	m := NewMessage()
+	m.Add("bin", []byte{1, 2})
+	m.AddString("txt", "hello")
+	m.AddXML("doc", []byte("<A></A>"))
+
+	if b, ok := m.Get("bin"); !ok || !bytes.Equal(b, []byte{1, 2}) {
+		t.Fatalf("Get(bin) = %v, %v", b, ok)
+	}
+	if s, ok := m.GetString("txt"); !ok || s != "hello" {
+		t.Fatalf("GetString(txt) = %q, %v", s, ok)
+	}
+	if !m.Has("doc") || m.Has("nope") {
+		t.Fatal("Has misbehaved")
+	}
+	if m.Size() != 2+5+7 {
+		t.Fatalf("Size = %d", m.Size())
+	}
+	m.Set("txt", []byte("world"))
+	if s, _ := m.GetString("txt"); s != "world" {
+		t.Fatalf("after Set, txt = %q", s)
+	}
+	if n := m.Remove("txt"); n != 1 {
+		t.Fatalf("Remove = %d", n)
+	}
+	if m.Has("txt") {
+		t.Fatal("element survived Remove")
+	}
+}
+
+func TestMessageCloneIndependent(t *testing.T) {
+	m := NewMessage().Add("k", []byte("abc"))
+	c := m.Clone()
+	c.Elements[0].Data[0] = 'X'
+	if b, _ := m.Get("k"); b[0] != 'a' {
+		t.Fatal("Clone shares data with original")
+	}
+}
+
+func TestMessageWireRoundTrip(t *testing.T) {
+	m := NewMessage()
+	m.AddTyped("a", "text/plain", []byte("alpha"))
+	m.AddTyped("b", "application/octet-stream", nil)
+	m.AddTyped("a", "text/xml", []byte("<dup/>")) // duplicate names allowed
+	back, err := ParseMessage(m.Marshal())
+	if err != nil {
+		t.Fatalf("ParseMessage: %v", err)
+	}
+	if len(back.Elements) != 3 {
+		t.Fatalf("elements = %d", len(back.Elements))
+	}
+	for i := range m.Elements {
+		if m.Elements[i].Name != back.Elements[i].Name ||
+			m.Elements[i].MimeType != back.Elements[i].MimeType ||
+			!bytes.Equal(m.Elements[i].Data, back.Elements[i].Data) {
+			t.Fatalf("element %d mismatch", i)
+		}
+	}
+}
+
+func TestParseMessageErrors(t *testing.T) {
+	good := NewMessage().Add("k", []byte("v")).Marshal()
+	cases := map[string][]byte{
+		"empty":      nil,
+		"bad magic":  []byte("XXXX\x00\x00"),
+		"truncated":  good[:len(good)-1],
+		"trailing":   append(append([]byte{}, good...), 0),
+		"name cut":   good[:7],
+		"high count": {'J', 'X', 'M', '1', 0xFF, 0xFF},
+	}
+	for name, data := range cases {
+		if _, err := ParseMessage(data); err == nil {
+			t.Errorf("ParseMessage(%s) succeeded, want error", name)
+		}
+	}
+}
+
+func TestPropertyMessageWire(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 100,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			m := NewMessage()
+			for i := 0; i < r.Intn(6); i++ {
+				name := make([]byte, r.Intn(10))
+				r.Read(name)
+				data := make([]byte, r.Intn(100))
+				r.Read(data)
+				m.AddTyped(string(name), "application/octet-stream", data)
+			}
+			vals[0] = reflect.ValueOf(m)
+		},
+	}
+	prop := func(m *Message) bool {
+		back, err := ParseMessage(m.Marshal())
+		if err != nil || len(back.Elements) != len(m.Elements) {
+			return false
+		}
+		for i := range m.Elements {
+			if m.Elements[i].Name != back.Elements[i].Name ||
+				!bytes.Equal(m.Elements[i].Data, back.Elements[i].Data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Service tests ---
+
+func pair(t *testing.T) (*simnet.Network, *Service, *Service) {
+	t.Helper()
+	n := simnet.NewNetwork(simnet.ProfileLocal)
+	t.Cleanup(n.Close)
+	a, err := NewService(n, "urn:jxta:test-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewService(n, "urn:jxta:test-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, a, b
+}
+
+func TestSendToHandler(t *testing.T) {
+	_, a, b := pair(t)
+	got := make(chan string, 1)
+	b.RegisterHandler("chat", func(from keys.PeerID, m *Message) *Message {
+		s, _ := m.GetString("body")
+		got <- string(from) + "/" + s
+		return nil
+	})
+	if err := a.Send(b.PeerID(), "chat", NewMessage().AddString("body", "hi")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	select {
+	case v := <-got:
+		if v != "urn:jxta:test-a/hi" {
+			t.Fatalf("got %q", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout")
+	}
+}
+
+func TestRequestResponse(t *testing.T) {
+	_, a, b := pair(t)
+	b.RegisterHandler("echo", func(from keys.PeerID, m *Message) *Message {
+		body, _ := m.Get("body")
+		return NewMessage().Add("body", append([]byte("re:"), body...))
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	resp, err := a.Request(ctx, b.PeerID(), "echo", NewMessage().AddString("body", "ping"))
+	if err != nil {
+		t.Fatalf("Request: %v", err)
+	}
+	if body, _ := resp.GetString("body"); body != "re:ping" {
+		t.Fatalf("body = %q", body)
+	}
+}
+
+func TestRequestTimeout(t *testing.T) {
+	_, a, b := pair(t)
+	// No handler registered on b: message is dropped, request must time out.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := a.Request(ctx, b.PeerID(), "void", NewMessage())
+	if err == nil {
+		t.Fatal("Request succeeded with no handler")
+	}
+}
+
+func TestConcurrentRequests(t *testing.T) {
+	_, a, b := pair(t)
+	b.RegisterHandler("id", func(from keys.PeerID, m *Message) *Message {
+		v, _ := m.Get("v")
+		return NewMessage().Add("v", v)
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i byte) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			resp, err := a.Request(ctx, b.PeerID(), "id", NewMessage().Add("v", []byte{i}))
+			if err != nil {
+				t.Errorf("Request %d: %v", i, err)
+				return
+			}
+			if v, _ := resp.Get("v"); len(v) != 1 || v[0] != i {
+				t.Errorf("response %d carried %v", i, v)
+			}
+		}(byte(i))
+	}
+	wg.Wait()
+}
+
+func TestRelayThroughBroker(t *testing.T) {
+	n := simnet.NewNetwork(simnet.ProfileLocal)
+	defer n.Close()
+	cl1, err := NewService(n, "urn:jxta:cl1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl2, err := NewService(n, "urn:jxta:cl2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, err := NewService(n, "urn:jxta:br")
+	if err != nil {
+		t.Fatal(err)
+	}
+	br.EnableRelaying(true)
+	cl1.SetRelay(br.PeerID())
+
+	// cl1 is NATed: it cannot open a direct path to cl2.
+	n.SetReachable(simnet.NodeID(cl1.PeerID()), simnet.NodeID(cl2.PeerID()), false)
+
+	got := make(chan keys.PeerID, 1)
+	cl2.RegisterHandler("chat", func(from keys.PeerID, m *Message) *Message {
+		got <- from
+		return nil
+	})
+	if err := cl1.Send(cl2.PeerID(), "chat", NewMessage().AddString("body", "via relay")); err != nil {
+		t.Fatalf("Send via relay: %v", err)
+	}
+	select {
+	case from := <-got:
+		// The original source must be preserved through the relay.
+		if from != cl1.PeerID() {
+			t.Fatalf("source after relay = %q", from)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout waiting for relayed message")
+	}
+}
+
+func TestRelayRequiresEnabledForwarder(t *testing.T) {
+	n := simnet.NewNetwork(simnet.ProfileLocal)
+	defer n.Close()
+	cl1, _ := NewService(n, "urn:jxta:c1")
+	cl2, _ := NewService(n, "urn:jxta:c2")
+	lazy, _ := NewService(n, "urn:jxta:lazy") // relaying NOT enabled
+	cl1.SetRelay(lazy.PeerID())
+	n.SetReachable(simnet.NodeID(cl1.PeerID()), simnet.NodeID(cl2.PeerID()), false)
+
+	delivered := make(chan struct{}, 1)
+	cl2.RegisterHandler("chat", func(keys.PeerID, *Message) *Message {
+		delivered <- struct{}{}
+		return nil
+	})
+	if err := cl1.Send(cl2.PeerID(), "chat", NewMessage()); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	select {
+	case <-delivered:
+		t.Fatal("non-relaying node forwarded a frame")
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+func TestNoRelayConfigured(t *testing.T) {
+	n := simnet.NewNetwork(simnet.ProfileLocal)
+	defer n.Close()
+	cl1, _ := NewService(n, "urn:jxta:c1")
+	cl2, _ := NewService(n, "urn:jxta:c2")
+	n.SetReachable(simnet.NodeID(cl1.PeerID()), simnet.NodeID(cl2.PeerID()), false)
+	if err := cl1.Send(cl2.PeerID(), "chat", NewMessage()); err == nil {
+		t.Fatal("Send succeeded with no relay configured")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	_, a, b := pair(t)
+	done := make(chan struct{}, 1)
+	b.RegisterHandler("x", func(keys.PeerID, *Message) *Message {
+		done <- struct{}{}
+		return nil
+	})
+	if err := a.Send(b.PeerID(), "x", NewMessage().AddString("k", "v")); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	tx, _, txB, _ := a.Counters()
+	if tx != 1 || txB == 0 {
+		t.Fatalf("a counters tx=%d txB=%d", tx, txB)
+	}
+	_, rx, _, rxB := b.Counters()
+	if rx != 1 || rxB == 0 {
+		t.Fatalf("b counters rx=%d rxB=%d", rx, rxB)
+	}
+}
+
+func TestCloseStopsService(t *testing.T) {
+	_, a, b := pair(t)
+	a.Close()
+	if err := a.Send(b.PeerID(), "x", NewMessage()); err == nil {
+		t.Fatal("Send after Close succeeded")
+	}
+	ctx := context.Background()
+	if _, err := a.Request(ctx, b.PeerID(), "x", NewMessage()); err == nil {
+		t.Fatal("Request after Close succeeded")
+	}
+	a.Close() // idempotent
+}
+
+func TestUnregisterHandler(t *testing.T) {
+	_, a, b := pair(t)
+	hits := make(chan struct{}, 2)
+	b.RegisterHandler("x", func(keys.PeerID, *Message) *Message {
+		hits <- struct{}{}
+		return nil
+	})
+	a.Send(b.PeerID(), "x", NewMessage())
+	select {
+	case <-hits:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first send not delivered")
+	}
+	b.UnregisterHandler("x")
+	a.Send(b.PeerID(), "x", NewMessage())
+	select {
+	case <-hits:
+		t.Fatal("handler fired after unregister")
+	case <-time.After(100 * time.Millisecond):
+	}
+}

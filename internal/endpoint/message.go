@@ -1,0 +1,214 @@
+// Package endpoint implements the JXTA endpoint abstraction over simnet:
+// messages made of named elements, a binary wire codec, per-service
+// demultiplexing, request/response correlation, and relay routing so
+// brokers can carry traffic between peers that cannot reach each other
+// directly (the "beyond broadcast range or NAT" role of JXTA-Overlay
+// brokers).
+package endpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Element is one named, typed payload inside a message — JXTA's message
+// element. Security layers attach signatures and envelopes as additional
+// elements without disturbing the rest of the message.
+type Element struct {
+	Name     string
+	MimeType string
+	Data     []byte
+}
+
+// Message is an ordered multiset of elements.
+type Message struct {
+	Elements []Element
+}
+
+// NewMessage returns an empty message.
+func NewMessage() *Message { return &Message{} }
+
+// Add appends an element with the default application/octet-stream type
+// and returns the message for chaining.
+func (m *Message) Add(name string, data []byte) *Message {
+	return m.AddTyped(name, "application/octet-stream", data)
+}
+
+// AddString appends a text element.
+func (m *Message) AddString(name, value string) *Message {
+	return m.AddTyped(name, "text/plain", []byte(value))
+}
+
+// AddXML appends an XML document element.
+func (m *Message) AddXML(name string, doc []byte) *Message {
+	return m.AddTyped(name, "text/xml", doc)
+}
+
+// AddTyped appends an element with an explicit MIME type.
+func (m *Message) AddTyped(name, mime string, data []byte) *Message {
+	m.Elements = append(m.Elements, Element{Name: name, MimeType: mime, Data: data})
+	return m
+}
+
+// Get returns the data of the first element with the given name.
+func (m *Message) Get(name string) ([]byte, bool) {
+	for _, e := range m.Elements {
+		if e.Name == name {
+			return e.Data, true
+		}
+	}
+	return nil, false
+}
+
+// GetString returns the first matching element's data as a string.
+func (m *Message) GetString(name string) (string, bool) {
+	b, ok := m.Get(name)
+	return string(b), ok
+}
+
+// Has reports whether an element with the given name exists.
+func (m *Message) Has(name string) bool {
+	_, ok := m.Get(name)
+	return ok
+}
+
+// Set replaces the first element with the given name, or appends.
+func (m *Message) Set(name string, data []byte) *Message {
+	for i := range m.Elements {
+		if m.Elements[i].Name == name {
+			m.Elements[i].Data = data
+			return m
+		}
+	}
+	return m.Add(name, data)
+}
+
+// Remove deletes every element with the given name; reports how many.
+func (m *Message) Remove(name string) int {
+	kept := m.Elements[:0]
+	n := 0
+	for _, e := range m.Elements {
+		if e.Name == name {
+			n++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	m.Elements = kept
+	return n
+}
+
+// Size returns the total payload bytes across elements (wire size is
+// slightly larger due to framing).
+func (m *Message) Size() int {
+	n := 0
+	for _, e := range m.Elements {
+		n += len(e.Data)
+	}
+	return n
+}
+
+// Clone deep-copies the message.
+func (m *Message) Clone() *Message {
+	out := &Message{Elements: make([]Element, len(m.Elements))}
+	for i, e := range m.Elements {
+		data := make([]byte, len(e.Data))
+		copy(data, e.Data)
+		out.Elements[i] = Element{Name: e.Name, MimeType: e.MimeType, Data: data}
+	}
+	return out
+}
+
+// Wire format: magic "JXM1", u16 element count, then per element
+// u16 name length + name, u16 mime length + mime, u32 data length + data.
+// All integers big-endian.
+var wireMagic = [4]byte{'J', 'X', 'M', '1'}
+
+// Codec limits guard against malformed frames.
+const (
+	maxElements = 1 << 12
+	maxElemData = 64 << 20
+)
+
+// ErrWire is wrapped by all codec parse failures.
+var ErrWire = errors.New("endpoint: malformed wire message")
+
+// Marshal encodes the message in the binary wire format.
+func (m *Message) Marshal() []byte {
+	size := 6
+	for _, e := range m.Elements {
+		size += 2 + len(e.Name) + 2 + len(e.MimeType) + 4 + len(e.Data)
+	}
+	out := make([]byte, 0, size)
+	out = append(out, wireMagic[:]...)
+	out = binary.BigEndian.AppendUint16(out, uint16(len(m.Elements)))
+	for _, e := range m.Elements {
+		out = binary.BigEndian.AppendUint16(out, uint16(len(e.Name)))
+		out = append(out, e.Name...)
+		out = binary.BigEndian.AppendUint16(out, uint16(len(e.MimeType)))
+		out = append(out, e.MimeType...)
+		out = binary.BigEndian.AppendUint32(out, uint32(len(e.Data)))
+		out = append(out, e.Data...)
+	}
+	return out
+}
+
+// ParseMessage decodes a wire frame produced by Marshal.
+func ParseMessage(data []byte) (*Message, error) {
+	if len(data) < 6 || [4]byte(data[:4]) != wireMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrWire)
+	}
+	count := int(binary.BigEndian.Uint16(data[4:6]))
+	if count > maxElements {
+		return nil, fmt.Errorf("%w: %d elements", ErrWire, count)
+	}
+	data = data[6:]
+	msg := &Message{Elements: make([]Element, 0, count)}
+	readLen16 := func() (int, error) {
+		if len(data) < 2 {
+			return 0, fmt.Errorf("%w: truncated length", ErrWire)
+		}
+		n := int(binary.BigEndian.Uint16(data[:2]))
+		data = data[2:]
+		return n, nil
+	}
+	for i := 0; i < count; i++ {
+		nameLen, err := readLen16()
+		if err != nil {
+			return nil, err
+		}
+		if len(data) < nameLen {
+			return nil, fmt.Errorf("%w: truncated name", ErrWire)
+		}
+		name := string(data[:nameLen])
+		data = data[nameLen:]
+
+		mimeLen, err := readLen16()
+		if err != nil {
+			return nil, err
+		}
+		if len(data) < mimeLen {
+			return nil, fmt.Errorf("%w: truncated mime", ErrWire)
+		}
+		mime := string(data[:mimeLen])
+		data = data[mimeLen:]
+
+		if len(data) < 4 {
+			return nil, fmt.Errorf("%w: truncated data length", ErrWire)
+		}
+		dataLen := int(binary.BigEndian.Uint32(data[:4]))
+		data = data[4:]
+		if dataLen > maxElemData || len(data) < dataLen {
+			return nil, fmt.Errorf("%w: truncated data", ErrWire)
+		}
+		payload := make([]byte, dataLen)
+		copy(payload, data[:dataLen])
+		data = data[dataLen:]
+		msg.Elements = append(msg.Elements, Element{Name: name, MimeType: mime, Data: payload})
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrWire, len(data))
+	}
+	return msg, nil
+}

@@ -1,0 +1,176 @@
+// Package events implements the callback side of the JXTA-Overlay
+// programming model: applications invoke Client Module primitives and
+// react to events thrown by functions executed on message reception.
+package events
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jxtaoverlay/internal/keys"
+)
+
+// Type names an event kind.
+type Type string
+
+// Event kinds emitted by the middleware. The secure primitives emit the
+// Secure* and security-alert variants.
+const (
+	Connected        Type = "connected"
+	Disconnected     Type = "disconnected"
+	LoginOK          Type = "login-ok"
+	LoginFailed      Type = "login-failed"
+	BrokerVerified   Type = "broker-verified"
+	BrokerRejected   Type = "broker-rejected"
+	MessageReceived  Type = "message-received"
+	SecureMessage    Type = "secure-message-received"
+	PresenceUpdate   Type = "presence-update"
+	GroupUpdated     Type = "group-updated"
+	FileIndexUpdated Type = "file-index-updated"
+	FileReceived     Type = "file-received"
+	TaskCompleted    Type = "task-completed"
+	SecurityAlert    Type = "security-alert"
+)
+
+// Event is one notification. Payload carries small string attributes;
+// Data carries an opaque body (e.g. message text).
+type Event struct {
+	Type    Type
+	From    keys.PeerID
+	Group   string
+	Payload map[string]string
+	Data    []byte
+	Time    time.Time
+}
+
+// Attr returns a payload attribute or "".
+func (e Event) Attr(key string) string { return e.Payload[key] }
+
+// Handler consumes events. Handlers run synchronously on the emitting
+// goroutine; long work should be dispatched by the application.
+type Handler func(Event)
+
+type subscription struct {
+	id int64
+	t  Type // "" = wildcard
+	h  Handler
+}
+
+// Bus is a typed publish/subscribe dispatcher.
+type Bus struct {
+	mu   sync.RWMutex
+	subs []subscription
+	next atomic.Int64
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus { return &Bus{} }
+
+// Subscribe registers a handler for one event type. It returns an
+// unsubscribe function.
+func (b *Bus) Subscribe(t Type, h Handler) (cancel func()) {
+	return b.add(t, h)
+}
+
+// SubscribeAll registers a wildcard handler receiving every event.
+func (b *Bus) SubscribeAll(h Handler) (cancel func()) {
+	return b.add("", h)
+}
+
+func (b *Bus) add(t Type, h Handler) func() {
+	id := b.next.Add(1)
+	b.mu.Lock()
+	b.subs = append(b.subs, subscription{id: id, t: t, h: h})
+	b.mu.Unlock()
+	return func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		for i, s := range b.subs {
+			if s.id == id {
+				b.subs = append(b.subs[:i], b.subs[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// Emit stamps and dispatches the event to matching handlers.
+func (b *Bus) Emit(e Event) {
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	if e.Payload == nil {
+		e.Payload = map[string]string{}
+	}
+	b.mu.RLock()
+	subs := make([]subscription, len(b.subs))
+	copy(subs, b.subs)
+	b.mu.RUnlock()
+	for _, s := range subs {
+		if s.t == "" || s.t == e.Type {
+			s.h(e)
+		}
+	}
+}
+
+// Collector buffers events for tests and examples.
+type Collector struct {
+	mu     sync.Mutex
+	events []Event
+	waitCh chan struct{}
+}
+
+// NewCollector subscribes a collector to every event on the bus.
+func NewCollector(b *Bus) *Collector {
+	c := &Collector{waitCh: make(chan struct{}, 64)}
+	b.SubscribeAll(func(e Event) {
+		c.mu.Lock()
+		c.events = append(c.events, e)
+		c.mu.Unlock()
+		select {
+		case c.waitCh <- struct{}{}:
+		default:
+		}
+	})
+	return c
+}
+
+// Events returns a snapshot of collected events.
+func (c *Collector) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Event, len(c.events))
+	copy(out, c.events)
+	return out
+}
+
+// OfType returns collected events of one type.
+func (c *Collector) OfType(t Type) []Event {
+	var out []Event
+	for _, e := range c.Events() {
+		if e.Type == t {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// WaitFor blocks until an event of type t has been collected or the
+// timeout elapses; it reports whether the event arrived.
+func (c *Collector) WaitFor(t Type, timeout time.Duration) (Event, bool) {
+	deadline := time.After(timeout)
+	for {
+		if evs := c.OfType(t); len(evs) > 0 {
+			return evs[0], true
+		}
+		select {
+		case <-c.waitCh:
+		case <-deadline:
+			if evs := c.OfType(t); len(evs) > 0 {
+				return evs[0], true
+			}
+			return Event{}, false
+		}
+	}
+}

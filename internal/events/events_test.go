@@ -1,0 +1,111 @@
+package events
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSubscribeEmit(t *testing.T) {
+	b := NewBus()
+	var got []Event
+	b.Subscribe(MessageReceived, func(e Event) { got = append(got, e) })
+	b.Emit(Event{Type: MessageReceived, From: "peer-1", Data: []byte("hi")})
+	b.Emit(Event{Type: LoginOK}) // different type, must not be delivered
+	if len(got) != 1 {
+		t.Fatalf("received %d events", len(got))
+	}
+	if got[0].From != "peer-1" || string(got[0].Data) != "hi" {
+		t.Fatalf("event = %+v", got[0])
+	}
+	if got[0].Time.IsZero() {
+		t.Fatal("Emit did not stamp time")
+	}
+	if got[0].Payload == nil {
+		t.Fatal("Emit did not initialize payload")
+	}
+}
+
+func TestWildcardSubscription(t *testing.T) {
+	b := NewBus()
+	var count atomic.Int32
+	b.SubscribeAll(func(Event) { count.Add(1) })
+	b.Emit(Event{Type: LoginOK})
+	b.Emit(Event{Type: LoginFailed})
+	b.Emit(Event{Type: SecurityAlert})
+	if count.Load() != 3 {
+		t.Fatalf("wildcard got %d events", count.Load())
+	}
+}
+
+func TestUnsubscribe(t *testing.T) {
+	b := NewBus()
+	var count atomic.Int32
+	cancel := b.Subscribe(LoginOK, func(Event) { count.Add(1) })
+	b.Emit(Event{Type: LoginOK})
+	cancel()
+	b.Emit(Event{Type: LoginOK})
+	if count.Load() != 1 {
+		t.Fatalf("handler fired %d times, want 1", count.Load())
+	}
+	cancel() // double-cancel must be safe
+}
+
+func TestMultipleSubscribersSameType(t *testing.T) {
+	b := NewBus()
+	var a, c atomic.Int32
+	b.Subscribe(GroupUpdated, func(Event) { a.Add(1) })
+	b.Subscribe(GroupUpdated, func(Event) { c.Add(1) })
+	b.Emit(Event{Type: GroupUpdated})
+	if a.Load() != 1 || c.Load() != 1 {
+		t.Fatalf("subscribers fired %d/%d", a.Load(), c.Load())
+	}
+}
+
+func TestConcurrentEmitSubscribe(t *testing.T) {
+	b := NewBus()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			cancel := b.Subscribe(PresenceUpdate, func(Event) {})
+			defer cancel()
+		}()
+		go func() {
+			defer wg.Done()
+			b.Emit(Event{Type: PresenceUpdate})
+		}()
+	}
+	wg.Wait()
+}
+
+func TestAttr(t *testing.T) {
+	e := Event{Payload: map[string]string{"user": "alice"}}
+	if e.Attr("user") != "alice" || e.Attr("none") != "" {
+		t.Fatal("Attr misbehaved")
+	}
+}
+
+func TestCollector(t *testing.T) {
+	b := NewBus()
+	c := NewCollector(b)
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		b.Emit(Event{Type: FileReceived, Group: "g"})
+	}()
+	e, ok := c.WaitFor(FileReceived, 5*time.Second)
+	if !ok {
+		t.Fatal("WaitFor timed out")
+	}
+	if e.Group != "g" {
+		t.Fatalf("event = %+v", e)
+	}
+	if len(c.OfType(FileReceived)) != 1 {
+		t.Fatal("OfType mismatch")
+	}
+	if _, ok := c.WaitFor(TaskCompleted, 30*time.Millisecond); ok {
+		t.Fatal("WaitFor returned event that never fired")
+	}
+}

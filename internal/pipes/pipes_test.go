@@ -1,0 +1,239 @@
+package pipes
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"jxtaoverlay/internal/advert"
+	"jxtaoverlay/internal/endpoint"
+	"jxtaoverlay/internal/keys"
+	"jxtaoverlay/internal/simnet"
+)
+
+func testNet(t *testing.T) *simnet.Network {
+	t.Helper()
+	n := simnet.NewNetwork(simnet.ProfileLocal)
+	t.Cleanup(n.Close)
+	return n
+}
+
+func svc(t *testing.T, n *simnet.Network, id string) *endpoint.Service {
+	t.Helper()
+	s, err := endpoint.NewService(n, keys.PeerID(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func unicastAdv(peer keys.PeerID, id string) *advert.Pipe {
+	return &advert.Pipe{PipeID: id, PipeType: advert.PipeUnicast, Name: "t", PeerID: peer, Group: "g"}
+}
+
+func TestUnicastSendReceive(t *testing.T) {
+	n := testNet(t)
+	a := svc(t, n, "urn:jxta:a")
+	b := svc(t, n, "urn:jxta:b")
+
+	adv := unicastAdv(b.PeerID(), "urn:jxta:pipe-1")
+	in, err := CreateInputPipe(b, adv, 8)
+	if err != nil {
+		t.Fatalf("CreateInputPipe: %v", err)
+	}
+	defer in.Close()
+
+	out, err := ResolveOutputPipe(a, adv)
+	if err != nil {
+		t.Fatalf("ResolveOutputPipe: %v", err)
+	}
+	if err := out.Send(endpoint.NewMessage().AddString("body", "ping")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	d, err := in.Receive(ctx)
+	if err != nil {
+		t.Fatalf("Receive: %v", err)
+	}
+	if d.From != a.PeerID() {
+		t.Fatalf("From = %q", d.From)
+	}
+	if body, _ := d.Msg.GetString("body"); body != "ping" {
+		t.Fatalf("body = %q", body)
+	}
+}
+
+func TestCreateInputPipeOwnership(t *testing.T) {
+	n := testNet(t)
+	a := svc(t, n, "urn:jxta:a")
+	// Advertisement names a different peer: binding must fail.
+	adv := unicastAdv("urn:jxta:other", "urn:jxta:pipe-1")
+	if _, err := CreateInputPipe(a, adv, 1); err == nil {
+		t.Fatal("CreateInputPipe bound a foreign advertisement")
+	}
+	if _, err := CreateInputPipe(nil, nil, 1); err == nil {
+		t.Fatal("CreateInputPipe accepted nils")
+	}
+}
+
+func TestResolveTypeChecks(t *testing.T) {
+	n := testNet(t)
+	a := svc(t, n, "urn:jxta:a")
+	prop := &advert.Pipe{PipeID: "urn:jxta:pipe-p", PipeType: advert.PipePropagate, PeerID: a.PeerID(), Group: "g"}
+	if _, err := ResolveOutputPipe(a, prop); err == nil {
+		t.Fatal("ResolveOutputPipe accepted propagate advertisement")
+	}
+	uni := unicastAdv(a.PeerID(), "urn:jxta:pipe-u")
+	if _, err := ResolvePropagatePipe(a, uni, MemberProviderFunc(func(string) []keys.PeerID { return nil })); err == nil {
+		t.Fatal("ResolvePropagatePipe accepted unicast advertisement")
+	}
+	if _, err := ResolvePropagatePipe(a, prop, nil); err == nil {
+		t.Fatal("ResolvePropagatePipe accepted nil provider")
+	}
+}
+
+func TestPropagateFanOut(t *testing.T) {
+	n := testNet(t)
+	sender := svc(t, n, "urn:jxta:s")
+	m1 := svc(t, n, "urn:jxta:m1")
+	m2 := svc(t, n, "urn:jxta:m2")
+
+	adv := &advert.Pipe{PipeID: "urn:jxta:pipe-prop", PipeType: advert.PipePropagate, PeerID: sender.PeerID(), Group: "g"}
+	in1, err := CreateInputPipe(m1, &advert.Pipe{PipeID: adv.PipeID, PipeType: advert.PipePropagate, PeerID: m1.PeerID(), Group: "g"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in2, err := CreateInputPipe(m2, &advert.Pipe{PipeID: adv.PipeID, PipeType: advert.PipePropagate, PeerID: m2.PeerID(), Group: "g"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	members := []keys.PeerID{sender.PeerID(), m1.PeerID(), m2.PeerID()}
+	out, err := ResolvePropagatePipe(sender, adv, MemberProviderFunc(func(g string) []keys.PeerID {
+		if g != "g" {
+			t.Errorf("provider queried for group %q", g)
+		}
+		return members
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Send(endpoint.NewMessage().AddString("body", "all")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for _, in := range []*InputPipe{in1, in2} {
+		d, err := in.Receive(ctx)
+		if err != nil {
+			t.Fatalf("Receive: %v", err)
+		}
+		if body, _ := d.Msg.GetString("body"); body != "all" {
+			t.Fatalf("body = %q", body)
+		}
+	}
+}
+
+func TestPropagateSkipsSender(t *testing.T) {
+	n := testNet(t)
+	sender := svc(t, n, "urn:jxta:s")
+	selfAdv := &advert.Pipe{PipeID: "urn:jxta:pipe-x", PipeType: advert.PipePropagate, PeerID: sender.PeerID(), Group: "g"}
+	selfIn, err := CreateInputPipe(sender, selfAdv, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ResolvePropagatePipe(sender, selfAdv, MemberProviderFunc(func(string) []keys.PeerID {
+		return []keys.PeerID{sender.PeerID()}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Send(endpoint.NewMessage()); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	select {
+	case <-selfIn.Chan():
+		t.Fatal("propagate pipe echoed to sender")
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+func TestInputPipeBufferDrop(t *testing.T) {
+	n := testNet(t)
+	a := svc(t, n, "urn:jxta:a")
+	b := svc(t, n, "urn:jxta:b")
+	adv := unicastAdv(b.PeerID(), "urn:jxta:pipe-1")
+	in, err := CreateInputPipe(b, adv, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := ResolveOutputPipe(a, adv)
+	for i := 0; i < 10; i++ {
+		if err := out.Send(endpoint.NewMessage().AddString("i", "x")); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	n.Close() // flush deliveries
+	// Only the buffer capacity may be queued; the rest were dropped
+	// without blocking the network.
+	if got := len(in.Chan()); got > 2 {
+		t.Fatalf("buffered %d messages, capacity 2", got)
+	}
+}
+
+func TestInputPipeClose(t *testing.T) {
+	n := testNet(t)
+	a := svc(t, n, "urn:jxta:a")
+	b := svc(t, n, "urn:jxta:b")
+	adv := unicastAdv(b.PeerID(), "urn:jxta:pipe-1")
+	in, err := CreateInputPipe(b, adv, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Close()
+	in.Close() // idempotent
+	ctx := context.Background()
+	if _, err := in.Receive(ctx); err != ErrClosed {
+		t.Fatalf("Receive after Close = %v, want ErrClosed", err)
+	}
+	// Messages sent after close are discarded.
+	out, _ := ResolveOutputPipe(a, adv)
+	if err := out.Send(endpoint.NewMessage()); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+}
+
+func TestReceiveContextCancel(t *testing.T) {
+	n := testNet(t)
+	b := svc(t, n, "urn:jxta:b")
+	adv := unicastAdv(b.PeerID(), "urn:jxta:pipe-1")
+	in, err := CreateInputPipe(b, adv, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := in.Receive(ctx); err == nil {
+		t.Fatal("Receive returned without a message")
+	}
+}
+
+func TestAdvertisementAccessors(t *testing.T) {
+	n := testNet(t)
+	b := svc(t, n, "urn:jxta:b")
+	adv := unicastAdv(b.PeerID(), "urn:jxta:pipe-1")
+	in, err := CreateInputPipe(b, adv, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	if in.Advertisement().PipeID != adv.PipeID {
+		t.Fatal("input advertisement mismatch")
+	}
+	out, _ := ResolveOutputPipe(b, adv)
+	if out.Advertisement().PipeID != adv.PipeID {
+		t.Fatal("output advertisement mismatch")
+	}
+}

@@ -1,0 +1,136 @@
+// Package proto pins the wire vocabulary spoken between the Client and
+// Broker Modules: endpoint service names, operation identifiers and
+// message element names. Both modules (and the security extension in
+// internal/core) import it, keeping the protocol in one place.
+package proto
+
+import "jxtaoverlay/internal/endpoint"
+
+// Endpoint service names.
+const (
+	// BrokerService is the broker's shared input channel: every Client
+	// Module primitive that involves the broker sends here.
+	BrokerService = "overlay:broker"
+	// ClientService receives broker pushes (propagated advertisements).
+	ClientService = "overlay:client"
+	// FileService serves chunked file downloads between client peers.
+	FileService = "overlay:file"
+	// TaskService serves the executable primitives (remote task calls).
+	TaskService = "overlay:task"
+	// SecureTaskService is the security extension's wrapper around
+	// TaskService.
+	SecureTaskService = "overlay:sectask"
+)
+
+// Common element names.
+const (
+	ElemOp      = "op"
+	ElemOK      = "ok"
+	ElemErr     = "err"
+	ElemUser    = "user"
+	ElemPass    = "pass"
+	ElemGroup   = "group"
+	ElemGroups  = "groups"
+	ElemDesc    = "desc"
+	ElemAdv     = "adv"
+	ElemAdvType = "advtype"
+	ElemAdvID   = "advid"
+	ElemPeer    = "peer"
+	ElemPeers   = "peers"
+	ElemKeyword = "keyword"
+	ElemBroker  = "broker"
+	ElemBody    = "msg:body"
+
+	// Security extension elements.
+	ElemChallenge = "sec:chall"
+	ElemSid       = "sec:sid"
+	ElemSig       = "sec:sig"
+	ElemCred      = "sec:cred"
+	ElemCredChain = "sec:chain"
+	ElemEnvelope  = "sec:env"
+
+	// File transfer elements.
+	ElemFileName  = "file:name"
+	ElemFileChunk = "file:chunk"
+	ElemFileData  = "file:data"
+	ElemFileSize  = "file:size"
+	ElemFileCount = "file:nchunks"
+	ElemFileSum   = "file:digest"
+
+	// Task execution elements.
+	ElemTaskName = "task:name"
+	ElemTaskArgs = "task:args"
+	ElemTaskOut  = "task:out"
+)
+
+// Broker operations (the Broker Module "functions" clients call).
+const (
+	OpConnect       = "connect"
+	OpLogin         = "login"
+	OpLogout        = "logout"
+	OpSecureConnect = "secureConnection"
+	OpSecureLogin   = "secureLogin"
+	OpPublishAdv    = "publishAdv"
+	OpLookupAdv     = "lookupAdv"
+	OpLookupPipe    = "lookupPipe"
+	OpListPeers     = "listPeers"
+	OpGroupCreate   = "groupCreate"
+	OpGroupJoin     = "groupJoin"
+	OpGroupLeave    = "groupLeave"
+	OpGroupList     = "groupList"
+	OpFileSearch    = "fileSearch"
+)
+
+// Client-side push operations (functions the broker invokes on clients).
+const (
+	OpAdvPush = "advPush"
+)
+
+// File/task operations.
+const (
+	OpFileGet  = "fileGet"
+	OpTaskExec = "taskExec"
+)
+
+// OK builds a success response.
+func OK() *endpoint.Message {
+	return endpoint.NewMessage().AddString(ElemOK, "1")
+}
+
+// Fail builds an error response with a stable error token.
+func Fail(errToken string) *endpoint.Message {
+	return endpoint.NewMessage().AddString(ElemOK, "0").AddString(ElemErr, errToken)
+}
+
+// IsOK splits a response into success flag and error token.
+func IsOK(m *endpoint.Message) (bool, string) {
+	if m == nil {
+		return false, "no-response"
+	}
+	if ok, _ := m.GetString(ElemOK); ok == "1" {
+		return true, ""
+	}
+	errToken, _ := m.GetString(ElemErr)
+	if errToken == "" {
+		errToken = "unknown"
+	}
+	return false, errToken
+}
+
+// Error tokens returned by the broker.
+const (
+	ErrAuthFailed     = "auth-failed"
+	ErrNotLoggedIn    = "not-logged-in"
+	ErrUnknownOp      = "unknown-op"
+	ErrBadRequest     = "bad-request"
+	ErrNotFound       = "not-found"
+	ErrGroupExists    = "group-exists"
+	ErrNoGroup        = "no-group"
+	ErrSecureRequired = "secure-login-required"
+	ErrSecurityOff    = "security-not-enabled"
+	ErrBadSid         = "bad-session-id"
+	ErrBadSignature   = "bad-signature"
+	ErrBadCredential  = "bad-credential"
+	ErrCBIDMismatch   = "cbid-mismatch"
+	ErrUnsignedAdv    = "unsigned-advertisement"
+)

@@ -1,0 +1,367 @@
+// Package xmldoc implements a small XML document model with a
+// deterministic canonical serialization.
+//
+// JXTA represents every piece of metadata — advertisements, credentials,
+// messages — as structured XML documents. The security extension signs
+// those documents, which requires byte-for-byte reproducible output: the
+// canonical form produced here sorts attributes by name, escapes text
+// minimally and deterministically, and never emits insignificant
+// whitespace. It is a self-contained subset in the spirit of W3C
+// Exclusive XML Canonicalization, sufficient for the document shapes
+// JXTA-Overlay exchanges (no namespaces, comments, or processing
+// instructions survive canonicalization).
+package xmldoc
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Attr is a single name="value" attribute on an element.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Element is a node in an XML document tree. Text and child elements are
+// kept separately: JXTA documents are "element normal form" — an element
+// carries either a text payload or child elements, not interleaved mixed
+// content. Parsing concatenates any character data into Text.
+type Element struct {
+	Name     string
+	Attrs    []Attr
+	Text     string
+	Children []*Element
+}
+
+// New returns an element with the given name and text payload.
+func New(name, text string) *Element {
+	return &Element{Name: name, Text: text}
+}
+
+// NewTree returns an element with the given name and children.
+func NewTree(name string, children ...*Element) *Element {
+	return &Element{Name: name, Children: children}
+}
+
+// Add appends children and returns the receiver for chaining.
+func (e *Element) Add(children ...*Element) *Element {
+	e.Children = append(e.Children, children...)
+	return e
+}
+
+// AddText appends a child element holding only text and returns the
+// receiver for chaining.
+func (e *Element) AddText(name, text string) *Element {
+	return e.Add(New(name, text))
+}
+
+// SetAttr sets (or replaces) an attribute value.
+func (e *Element) SetAttr(name, value string) *Element {
+	for i := range e.Attrs {
+		if e.Attrs[i].Name == name {
+			e.Attrs[i].Value = value
+			return e
+		}
+	}
+	e.Attrs = append(e.Attrs, Attr{Name: name, Value: value})
+	return e
+}
+
+// Attr returns the value of the named attribute and whether it exists.
+func (e *Element) Attr(name string) (string, bool) {
+	for _, a := range e.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// Child returns the first direct child with the given name, or nil.
+func (e *Element) Child(name string) *Element {
+	for _, c := range e.Children {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// ChildText returns the text of the first direct child with the given
+// name, or the empty string when no such child exists.
+func (e *Element) ChildText(name string) string {
+	if c := e.Child(name); c != nil {
+		return c.Text
+	}
+	return ""
+}
+
+// ChildrenNamed returns all direct children with the given name.
+func (e *Element) ChildrenNamed(name string) []*Element {
+	var out []*Element
+	for _, c := range e.Children {
+		if c.Name == name {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// RemoveChildren removes every direct child with the given name and
+// reports how many were removed.
+func (e *Element) RemoveChildren(name string) int {
+	kept := e.Children[:0]
+	removed := 0
+	for _, c := range e.Children {
+		if c.Name == name {
+			removed++
+			continue
+		}
+		kept = append(kept, c)
+	}
+	e.Children = kept
+	return removed
+}
+
+// Clone returns a deep copy of the element tree.
+func (e *Element) Clone() *Element {
+	if e == nil {
+		return nil
+	}
+	out := &Element{Name: e.Name, Text: e.Text}
+	if len(e.Attrs) > 0 {
+		out.Attrs = make([]Attr, len(e.Attrs))
+		copy(out.Attrs, e.Attrs)
+	}
+	for _, c := range e.Children {
+		out.Children = append(out.Children, c.Clone())
+	}
+	return out
+}
+
+// Equal reports whether two trees are structurally identical (same names,
+// attributes, text, and child order).
+func (e *Element) Equal(o *Element) bool {
+	if e == nil || o == nil {
+		return e == o
+	}
+	if e.Name != o.Name || e.Text != o.Text || len(e.Attrs) != len(o.Attrs) || len(e.Children) != len(o.Children) {
+		return false
+	}
+	ea, oa := sortedAttrs(e.Attrs), sortedAttrs(o.Attrs)
+	for i := range ea {
+		if ea[i] != oa[i] {
+			return false
+		}
+	}
+	for i := range e.Children {
+		if !e.Children[i].Equal(o.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedAttrs(in []Attr) []Attr {
+	out := make([]Attr, len(in))
+	copy(out, in)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Canonical returns the deterministic canonical serialization of the
+// tree. Two structurally equal trees always canonicalize to identical
+// bytes, which makes the output suitable as signing input.
+func (e *Element) Canonical() []byte {
+	var b strings.Builder
+	e.writeCanonical(&b)
+	return []byte(b.String())
+}
+
+func (e *Element) writeCanonical(b *strings.Builder) {
+	b.WriteByte('<')
+	b.WriteString(e.Name)
+	for _, a := range sortedAttrs(e.Attrs) {
+		b.WriteByte(' ')
+		b.WriteString(a.Name)
+		b.WriteString(`="`)
+		escapeAttr(b, a.Value)
+		b.WriteByte('"')
+	}
+	b.WriteByte('>')
+	escapeText(b, e.Text)
+	for _, c := range e.Children {
+		c.writeCanonical(b)
+	}
+	b.WriteString("</")
+	b.WriteString(e.Name)
+	b.WriteByte('>')
+}
+
+// String renders the canonical form; handy for debugging and logs.
+func (e *Element) String() string { return string(e.Canonical()) }
+
+// Indented returns a pretty-printed rendering for human consumption. The
+// output is NOT canonical and must never be used as signing input.
+func (e *Element) Indented() string {
+	var b strings.Builder
+	e.writeIndented(&b, 0)
+	return b.String()
+}
+
+func (e *Element) writeIndented(b *strings.Builder, depth int) {
+	pad := strings.Repeat("  ", depth)
+	b.WriteString(pad)
+	b.WriteByte('<')
+	b.WriteString(e.Name)
+	for _, a := range sortedAttrs(e.Attrs) {
+		b.WriteByte(' ')
+		b.WriteString(a.Name)
+		b.WriteString(`="`)
+		escapeAttr(b, a.Value)
+		b.WriteByte('"')
+	}
+	if len(e.Children) == 0 && e.Text == "" {
+		b.WriteString("/>\n")
+		return
+	}
+	b.WriteByte('>')
+	if len(e.Children) == 0 {
+		escapeText(b, e.Text)
+		b.WriteString("</")
+		b.WriteString(e.Name)
+		b.WriteString(">\n")
+		return
+	}
+	b.WriteByte('\n')
+	if e.Text != "" {
+		b.WriteString(pad)
+		b.WriteString("  ")
+		escapeText(b, e.Text)
+		b.WriteByte('\n')
+	}
+	for _, c := range e.Children {
+		c.writeIndented(b, depth+1)
+	}
+	b.WriteString(pad)
+	b.WriteString("</")
+	b.WriteString(e.Name)
+	b.WriteString(">\n")
+}
+
+func escapeText(b *strings.Builder, s string) {
+	for _, r := range s {
+		switch r {
+		case '&':
+			b.WriteString("&amp;")
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		case '\r':
+			b.WriteString("&#xD;")
+		default:
+			b.WriteRune(r)
+		}
+	}
+}
+
+func escapeAttr(b *strings.Builder, s string) {
+	for _, r := range s {
+		switch r {
+		case '&':
+			b.WriteString("&amp;")
+		case '<':
+			b.WriteString("&lt;")
+		case '"':
+			b.WriteString("&quot;")
+		case '\t':
+			b.WriteString("&#x9;")
+		case '\n':
+			b.WriteString("&#xA;")
+		case '\r':
+			b.WriteString("&#xD;")
+		default:
+			b.WriteRune(r)
+		}
+	}
+}
+
+// ErrEmptyDocument is returned by Parse when the input holds no element.
+var ErrEmptyDocument = errors.New("xmldoc: empty document")
+
+// Parse reads a single XML document from r into an Element tree.
+// Namespaces are flattened (local names only), comments, directives and
+// processing instructions are dropped, and character data inside an
+// element is concatenated and trimmed of leading/trailing whitespace
+// when the element also has child elements (pretty-printed input).
+func Parse(r io.Reader) (*Element, error) {
+	dec := xml.NewDecoder(r)
+	var stack []*Element
+	var root *Element
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmldoc: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			el := &Element{Name: t.Name.Local}
+			for _, a := range t.Attr {
+				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+					continue
+				}
+				el.Attrs = append(el.Attrs, Attr{Name: a.Name.Local, Value: a.Value})
+			}
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, errors.New("xmldoc: multiple root elements")
+				}
+				root = el
+			} else {
+				parent := stack[len(stack)-1]
+				parent.Children = append(parent.Children, el)
+			}
+			stack = append(stack, el)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, errors.New("xmldoc: unbalanced end element")
+			}
+			top := stack[len(stack)-1]
+			if len(top.Children) > 0 {
+				top.Text = strings.TrimSpace(top.Text)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			if len(stack) > 0 {
+				stack[len(stack)-1].Text += string(t)
+			}
+		}
+	}
+	if root == nil {
+		return nil, ErrEmptyDocument
+	}
+	if len(stack) != 0 {
+		return nil, errors.New("xmldoc: unexpected EOF inside element")
+	}
+	return root, nil
+}
+
+// ParseBytes is Parse over a byte slice.
+func ParseBytes(data []byte) (*Element, error) {
+	return Parse(strings.NewReader(string(data)))
+}
+
+// RoundTrip canonicalizes and re-parses the tree; it is used by tests to
+// assert that canonicalization is a fixed point of Parse∘Canonical.
+func RoundTrip(e *Element) (*Element, error) {
+	return ParseBytes(e.Canonical())
+}
