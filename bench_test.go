@@ -16,6 +16,8 @@ package jxtaoverlay_test
 import (
 	"context"
 	"fmt"
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -25,6 +27,7 @@ import (
 	"jxtaoverlay/internal/events"
 	"jxtaoverlay/internal/keys"
 	"jxtaoverlay/internal/xdsig"
+	"jxtaoverlay/internal/xmldoc"
 )
 
 func newEnv(b *testing.B, opts ...bench.EnvOption) *bench.Env {
@@ -323,6 +326,200 @@ func BenchmarkMsgPeerGroupSecure(b *testing.B) {
 				if _, err := sender.SecureMsgPeerGroup(ctx, group, "fanout"); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// --- P1: canonicalization fast path ---
+
+// canonBenchTree mirrors the shape of a signed pipe advertisement — the
+// document the hot paths canonicalize most often.
+func canonBenchTree() *xmldoc.Element {
+	doc := xmldoc.New("PipeAdvertisement", "")
+	doc.AddText("Id", "urn:jxta:pipe-0123456789abcdef0123456789abcdef")
+	doc.AddText("Type", "JxtaUnicast")
+	doc.AddText("Name", "bench")
+	doc.AddText("PeerID", "urn:jxta:cbid-0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef")
+	doc.AddText("Group", "bench")
+	sig := xmldoc.New("Signature", "")
+	si := xmldoc.New("SignedInfo", "")
+	si.AddText("CanonicalizationMethod", "jxta-overlay-c14n-v1")
+	si.AddText("SignatureMethod", "rsa-sha256-pkcs1v15")
+	si.AddText("DigestMethod", "sha256")
+	si.AddText("DigestValue", "3q2+7wAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA=")
+	sig.Add(si)
+	sig.AddText("SignatureValue", "c2lnbmF0dXJlLXZhbHVlLWJlbmNobWFyay1wYWRkaW5nLXNpZ25hdHVyZS12YWx1ZQ==")
+	ki := xmldoc.New("KeyInfo", "")
+	cr := xmldoc.New("Credential", "")
+	cr.AddText("Subject", "urn:jxta:cbid-0123456789abcdef")
+	cr.AddText("Key", "TUlHZk1BMEdDU3FHU0liM0RRRUJBUVVBQTRHTkFEQ0JpUUtCZ1FERGV4YW1wbGU=")
+	ki.Add(cr)
+	sig.Add(ki)
+	doc.Add(sig)
+	return doc
+}
+
+func BenchmarkCanonical(b *testing.B) {
+	b.Run("cold", func(b *testing.B) {
+		// Build + serialize every iteration: no memo can help.
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			doc := canonBenchTree()
+			_ = doc.Canonical()
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		// Repeated canonicalization of an unchanged document — the broker
+		// serving the same advertisement to many peers.
+		doc := canonBenchTree()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = doc.Canonical()
+		}
+	})
+	b.Run("skip-signature", func(b *testing.B) {
+		// The verification body serialization (document minus Signature),
+		// which used to be Clone+RemoveChildren+Canonical.
+		doc := canonBenchTree()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = doc.CanonicalSkip("Signature")
+		}
+	})
+}
+
+// --- P2: cold vs warm trusted verification ---
+
+func BenchmarkVerifyTrusted(b *testing.B) {
+	env := newEnv(b)
+	trust, err := env.TrustStore()
+	if err != nil {
+		b.Fatal(err)
+	}
+	kp, err := keys.NewKeyPair()
+	if err != nil {
+		b.Fatal(err)
+	}
+	id, err := keys.CBID(kp.Public())
+	if err != nil {
+		b.Fatal(err)
+	}
+	clientCred, err := env.Sec.IssueClientCredential(id, "bench-signer", kp.Public())
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc, err := (&advert.Pipe{
+		PipeID:   "urn:jxta:pipe-bench-verify",
+		PipeType: advert.PipeUnicast,
+		PeerID:   id,
+		Group:    "bench",
+	}).Document()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := xdsig.Sign(doc, kp, clientCred, env.Sec.Credential()); err != nil {
+		b.Fatal(err)
+	}
+	now := time.Now()
+	b.Run("cold", func(b *testing.B) {
+		// The uncached path pays canonicalization + SHA-256 + three RSA
+		// verifications (signature, two chain links) per call.
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := xdsig.VerifyTrusted(doc, trust, now); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		vc := xdsig.NewVerifyCache(trust, 0)
+		if _, err := vc.VerifyTrusted(doc, now); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := vc.VerifyTrusted(doc, now); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- P3: secure fan-out (verify + seal per recipient), N=1/10/100 ---
+
+func BenchmarkFanOutSecure(b *testing.B) {
+	env := newEnv(b)
+	trust, err := env.TrustStore()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sender, err := keys.NewKeyPair()
+	if err != nil {
+		b.Fatal(err)
+	}
+	senderID, err := keys.CBID(sender.Public())
+	if err != nil {
+		b.Fatal(err)
+	}
+	recvKP, err := keys.NewKeyPair()
+	if err != nil {
+		b.Fatal(err)
+	}
+	recvID, err := keys.CBID(recvKP.Public())
+	if err != nil {
+		b.Fatal(err)
+	}
+	recvCred, err := env.Sec.IssueClientCredential(recvID, "bench-recv", recvKP.Public())
+	if err != nil {
+		b.Fatal(err)
+	}
+	body := []byte(benchPayload(1024))
+	for _, n := range []int{1, 10, 100} {
+		// One signed pipe advertisement per recipient, as a sender doing a
+		// group fan-out would verify.
+		docs := make([]*xmldoc.Element, n)
+		for i := range docs {
+			doc, err := (&advert.Pipe{
+				PipeID:   fmt.Sprintf("urn:jxta:pipe-fan-%d", i),
+				PipeType: advert.PipeUnicast,
+				PeerID:   recvID,
+				Group:    "bench",
+			}).Document()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := xdsig.Sign(doc, recvKP, recvCred, env.Sec.Credential()); err != nil {
+				b.Fatal(err)
+			}
+			docs[i] = doc
+		}
+		now := time.Now()
+		b.Run(fmt.Sprintf("recipients%d", n), func(b *testing.B) {
+			vc := xdsig.NewVerifyCache(trust, 256)
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+				for _, doc := range docs {
+					wg.Add(1)
+					sem <- struct{}{}
+					go func(doc *xmldoc.Element) {
+						defer wg.Done()
+						defer func() { <-sem }()
+						res, err := vc.VerifyTrusted(doc, now)
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						if _, err := core.Seal(sender, senderID, "bench", body, res.Signer.Key, core.ModeFull); err != nil {
+							b.Error(err)
+						}
+					}(doc)
+				}
+				wg.Wait()
 			}
 		})
 	}

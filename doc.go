@@ -14,4 +14,24 @@
 // See README.md for a tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for the reproduction of the paper's evaluation. The
 // benchmarks in bench_test.go regenerate every number the paper reports.
+//
+// # Fast path
+//
+// The sign/verify pipeline — the cost center the paper measures — is
+// built for repetition (see PERF.md for architecture and numbers):
+//
+//   - internal/xmldoc memoizes canonical bytes per element, invalidated
+//     by every mutator through parent backlinks. After the first
+//     Canonical() call a tree must only be changed via the mutator
+//     methods (Add, AddText, SetText, SetAttr, RemoveChildren), and the
+//     returned bytes are shared and read-only.
+//   - Element.CanonicalSkip serializes a document minus selected direct
+//     children, so XMLdsig verification never deep-copies a document to
+//     detach its Signature.
+//   - internal/xdsig.VerifyCache and the cred.TrustStore signature cache
+//     memoize verification verdicts in digest-keyed, TTL-bounded LRUs
+//     (internal/lru); credential expiry is enforced on every lookup and
+//     failures are never cached. internal/core and internal/broker
+//     thread these caches through messaging, advertisement acceptance
+//     and the (parallel) group fan-out.
 package jxtaoverlay

@@ -1,0 +1,3 @@
+module jxtaoverlay
+
+go 1.24

@@ -16,6 +16,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -420,16 +421,44 @@ func (b *Broker) PropagateAdv(doc *xmldoc.Element, group string, except keys.Pee
 }
 
 func (b *Broker) propagateLocal(doc *xmldoc.Element, group string, except keys.PeerID) {
+	// The canonical bytes are rendered once (memoized on the document)
+	// and shared by every recipient's message.
 	push := endpoint.NewMessage().
 		AddString(proto.ElemOp, proto.OpAdvPush).
 		AddXML(proto.ElemAdv, doc.Canonical())
+	var targets []keys.PeerID
 	for _, p := range b.OnlinePeers(group) {
 		if p.ID == except || !p.Local() {
 			continue
 		}
-		_ = b.ep.Send(p.ID, proto.ClientService, push)
+		targets = append(targets, p.ID)
 	}
+	if len(targets) <= 1 {
+		for _, id := range targets {
+			_ = b.ep.Send(id, proto.ClientService, push)
+		}
+		return
+	}
+	// Fan the sends out in parallel: large groups should pay the wire
+	// latency of one recipient, not the sum of all of them.
+	sem := make(chan struct{}, sendParallelism)
+	var wg sync.WaitGroup
+	for _, id := range targets {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(id keys.PeerID) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			_ = b.ep.Send(id, proto.ClientService, push)
+		}(id)
+	}
+	wg.Wait()
 }
+
+// sendParallelism bounds concurrent recipient sends in group fan-outs.
+// Sends are latency-bound (wire time, not CPU), so the floor is above
+// one core — distinct from core's CPU-bound fanOutParallelism.
+var sendParallelism = max(4, runtime.GOMAXPROCS(0))
 
 func (b *Broker) pushPresence(id keys.PeerID, username, group, status string) {
 	pres := &advert.Presence{PeerID: id, Name: username, Group: group, Status: status, Seen: time.Now()}

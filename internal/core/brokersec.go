@@ -35,12 +35,20 @@ type BrokerConfig struct {
 	// RequireSignedAdvs makes the broker reject unsigned or untrusted
 	// advertisement publications.
 	RequireSignedAdvs bool
+	// VerifyCacheSize bounds the broker's signed-advertisement
+	// verification cache (0 = xdsig.DefaultVerifyCacheSize).
+	VerifyCacheSize int
 }
 
 // BrokerSecurity is the security extension attached to one broker.
 type BrokerSecurity struct {
 	cfg BrokerConfig
 	b   *broker.Broker
+
+	// vcache memoizes advertisement verification verdicts: a broker
+	// re-verifies the same signed advertisement on every re-publication
+	// and federation forward, which the cache turns into a digest lookup.
+	vcache *xdsig.VerifyCache
 
 	mu    sync.Mutex
 	sids  map[string]time.Time
@@ -67,10 +75,11 @@ func EnableBrokerSecurity(b *broker.Broker, cfg BrokerConfig) (*BrokerSecurity, 
 		cfg.SidTTL = 2 * time.Minute
 	}
 	bs := &BrokerSecurity{
-		cfg:   cfg,
-		b:     b,
-		sids:  make(map[string]time.Time),
-		clock: time.Now,
+		cfg:    cfg,
+		b:      b,
+		vcache: xdsig.NewVerifyCache(cfg.Trust, cfg.VerifyCacheSize),
+		sids:   make(map[string]time.Time),
+		clock:  time.Now,
 	}
 	b.RegisterOp(proto.OpSecureConnect, bs.handleSecureConnect)
 	b.RegisterOp(proto.OpSecureLogin, bs.handleSecureLogin)
@@ -201,9 +210,7 @@ func (bs *BrokerSecurity) handleSecureLogin(from keys.PeerID, msg *endpoint.Mess
 	}
 
 	// Verify the request signature S_SKCl(username, password, PKCl).
-	bare := doc.Clone()
-	bare.RemoveChildren("Signature")
-	if err := clientKey.Verify(bare.Canonical(), sig); err != nil {
+	if err := clientKey.Verify(doc.CanonicalSkip("Signature"), sig); err != nil {
 		return proto.Fail(proto.ErrBadSignature)
 	}
 
@@ -242,13 +249,19 @@ func (bs *BrokerSecurity) handleSecureLogin(from keys.PeerID, msg *endpoint.Mess
 // verifyAdv is the signed-advertisement acceptance policy: structural
 // XMLdsig validity, a trusted credential chain, CBID binding, and
 // ownership (the signer must be the peer the advertisement describes).
+// Verdicts ride the broker's verification cache, so a re-published or
+// federation-forwarded advertisement costs a digest lookup.
 func (bs *BrokerSecurity) verifyAdv(doc *xmldoc.Element) error {
-	res, err := xdsig.VerifyTrusted(doc, bs.cfg.Trust, bs.now())
+	res, err := bs.vcache.VerifyTrusted(doc, bs.now())
 	if err != nil {
 		return err
 	}
 	return CheckAdvOwnership(doc, res.Signer.Subject)
 }
+
+// VerifyCache exposes the broker's advertisement verification cache for
+// diagnostics.
+func (bs *BrokerSecurity) VerifyCache() *xdsig.VerifyCache { return bs.vcache }
 
 // CheckAdvOwnership rejects signed advertisements whose signer is not
 // the peer the advertisement describes — without it, any credentialed

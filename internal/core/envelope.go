@@ -211,9 +211,9 @@ func Open(own *keys.KeyPair, wire []byte) (*Opened, error) {
 			return nil, ErrEnvelope
 		}
 		o.sig = sig
-		bare := header.Clone()
-		bare.RemoveChildren("Signature")
-		o.sigDoc = bare.Canonical()
+		// Signed bytes are the header minus its Signature child —
+		// serialized directly, no deep copy per message.
+		o.sigDoc = header.CanonicalSkip("Signature")
 	}
 	return o, nil
 }

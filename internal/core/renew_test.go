@@ -88,7 +88,7 @@ func TestSecureRenewRejectsExpiredCredential(t *testing.T) {
 	h.join(sc, "pw-alice")
 
 	// Craft an already-expired credential signed by the real broker key.
-	expired := *sc.Identity().Credential
+	expired := sc.Identity().Credential.Clone()
 	expired.NotBefore = time.Now().Add(-2 * time.Hour)
 	expired.NotAfter = time.Now().Add(-time.Hour)
 	// Re-sign with the broker key so only the validity check can fail.

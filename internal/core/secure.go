@@ -5,6 +5,7 @@ import (
 	"encoding/base64"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -51,6 +52,10 @@ func WithChallengeSize(n int) Option { return func(s *SecureClient) { s.challeng
 // this is the further-work hardening (see ReplayGuard).
 func WithReplayGuard(g *ReplayGuard) Option { return func(s *SecureClient) { s.replayGuard = g } }
 
+// WithVerifyCacheSize sizes the client's signed-advertisement
+// verification cache (0 = xdsig.DefaultVerifyCacheSize).
+func WithVerifyCacheSize(n int) Option { return func(s *SecureClient) { s.verifyCacheSize = n } }
+
 // SecureClient layers the paper's secure primitives over a client peer.
 // The embedded Client keeps every original primitive available, so an
 // application can be migrated one primitive at a time.
@@ -61,8 +66,15 @@ type SecureClient struct {
 	trust *cred.TrustStore
 	mode  Mode
 
-	challengeSize int
-	replayGuard   *ReplayGuard
+	challengeSize   int
+	replayGuard     *ReplayGuard
+	verifyCacheSize int
+
+	// vcache memoizes VerifyTrusted verdicts on peers' signed pipe
+	// advertisements, so messaging the same peers repeatedly (or a group
+	// fan-out touching the same advertisements) pays RSA once per
+	// advertisement rather than once per message.
+	vcache *xdsig.VerifyCache
 
 	mu         sync.RWMutex
 	sid        string
@@ -87,9 +99,14 @@ func NewSecureClient(cl *client.Client, trust *cred.TrustStore, opts ...Option) 
 	for _, opt := range opts {
 		opt(s)
 	}
+	s.vcache = xdsig.NewVerifyCache(trust, s.verifyCacheSize)
 	cl.SetEnvelopeHandler(s.handleEnvelope)
 	return s, nil
 }
+
+// VerifyCache exposes the client's advertisement verification cache for
+// diagnostics.
+func (s *SecureClient) VerifyCache() *xdsig.VerifyCache { return s.vcache }
 
 // Sid returns the current session identifier ("" before
 // SecureConnection or after SecureLogin consumes it).
@@ -291,20 +308,40 @@ func (s *SecureClient) SecureMsgPeer(ctx context.Context, peer keys.PeerID, grou
 	return s.Control().SendOnPipe(pipeAdv, msg)
 }
 
-// SecureMsgPeerGroup iterates SecureMsgPeer over the group's online
-// members, exactly as the standard primitive does (§4.3.1).
+// SecureMsgPeerGroup fans SecureMsgPeer out over the group's online
+// members, exactly as the standard primitive does (§4.3.1). Recipients
+// are processed in parallel: each one costs an advertisement
+// verification (cached after the first encounter) plus an RSA-OAEP
+// encryption, so the fan-out is CPU-bound and scales with cores. The
+// returned count and first error match the sequential iteration order.
 func (s *SecureClient) SecureMsgPeerGroup(ctx context.Context, group, text string) (int, error) {
 	members, err := s.GetOnlinePeers(ctx, group)
 	if err != nil {
 		return 0, err
 	}
+	targets := members[:0]
+	for _, m := range members {
+		if m.ID != s.PeerID() {
+			targets = append(targets, m)
+		}
+	}
+	errs := make([]error, len(targets))
+	sem := make(chan struct{}, fanOutParallelism())
+	var wg sync.WaitGroup
+	for i, m := range targets {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, id keys.PeerID) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = s.SecureMsgPeer(ctx, id, group, text)
+		}(i, m.ID)
+	}
+	wg.Wait()
 	sent := 0
 	var firstErr error
-	for _, m := range members {
-		if m.ID == s.PeerID() {
-			continue
-		}
-		if err := s.SecureMsgPeer(ctx, m.ID, group, text); err != nil {
+	for _, err := range errs {
+		if err != nil {
 			if firstErr == nil {
 				firstErr = err
 			}
@@ -315,6 +352,16 @@ func (s *SecureClient) SecureMsgPeerGroup(ctx context.Context, group, text strin
 	return sent, firstErr
 }
 
+// fanOutParallelism bounds concurrent per-recipient work in group
+// fan-outs; the work is dominated by RSA, so core count is the natural
+// limit.
+func fanOutParallelism() int {
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		return n
+	}
+	return 1
+}
+
 // verifiedPeerKey resolves a peer's signed pipe advertisement and
 // returns the certified public key (steps 1-3 of §4.3.1).
 func (s *SecureClient) verifiedPeerKey(ctx context.Context, peer keys.PeerID, group string) (*keys.PublicKey, *advert.Pipe, error) {
@@ -322,7 +369,7 @@ func (s *SecureClient) verifiedPeerKey(ctx context.Context, peer keys.PeerID, gr
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := xdsig.VerifyTrusted(rawDoc, s.trust, time.Now())
+	res, err := s.vcache.VerifyTrusted(rawDoc, time.Now())
 	if err != nil {
 		s.Bus().Emit(events.Event{Type: events.SecurityAlert, From: peer, Group: group, Payload: map[string]string{
 			"reason": "pipe advertisement failed verification: " + err.Error(),
@@ -403,7 +450,7 @@ func (s *SecureClient) senderKey(ctx context.Context, sender keys.PeerID, group 
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := xdsig.VerifyTrusted(rawDoc, s.trust, time.Now())
+	res, err := s.vcache.VerifyTrusted(rawDoc, time.Now())
 	if err != nil {
 		return nil, nil, err
 	}

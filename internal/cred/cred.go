@@ -16,6 +16,7 @@ import (
 	"encoding/base64"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"jxtaoverlay/internal/keys"
@@ -64,16 +65,53 @@ type Credential struct {
 	NotAfter  time.Time
 	// Signature is the issuer's signature over the canonical body.
 	Signature []byte
+
+	// memo caches the canonical body and its digest. Credentials are
+	// immutable once built by Issue or Parse (Issue fills Signature in
+	// after signing, which the body excludes), so the memo never goes
+	// stale; code constructing Credential values by hand must not mutate
+	// identity fields afterwards.
+	memo atomic.Pointer[credMemo]
+}
+
+type credMemo struct {
+	body   []byte
+	digest []byte // SHA-256 of body, the verification-cache key material
 }
 
 // body returns the canonical signing input: the credential document
 // without its Signature child.
 func (c *Credential) body() ([]byte, error) {
+	m, err := c.bodyMemo()
+	if err != nil {
+		return nil, err
+	}
+	return m.body, nil
+}
+
+func (c *Credential) bodyMemo() (*credMemo, error) {
+	if m := c.memo.Load(); m != nil {
+		return m, nil
+	}
 	doc, err := c.document(false)
 	if err != nil {
 		return nil, err
 	}
-	return doc.Canonical(), nil
+	body := doc.Canonical()
+	m := &credMemo{body: body, digest: keys.SHA256(body)}
+	c.memo.Store(m)
+	return m, nil
+}
+
+// Digest returns the SHA-256 digest of the canonical credential body
+// (signature excluded). It identifies the credential's content in the
+// verification caches.
+func (c *Credential) Digest() ([]byte, error) {
+	m, err := c.bodyMemo()
+	if err != nil {
+		return nil, err
+	}
+	return m.digest, nil
 }
 
 func (c *Credential) document(withSig bool) (*xmldoc.Element, error) {
@@ -104,6 +142,22 @@ func (c *Credential) document(withSig bool) (*xmldoc.Element, error) {
 // Document serializes the credential, signature included.
 func (c *Credential) Document() (*xmldoc.Element, error) {
 	return c.document(true)
+}
+
+// Clone returns a copy of the credential with no memoized state. Use it
+// to derive modified variants (re-issuing tools, tests); Credential
+// values must never be copied or mutated directly once in use.
+func (c *Credential) Clone() *Credential {
+	return &Credential{
+		Subject:     c.Subject,
+		SubjectName: c.SubjectName,
+		Role:        c.Role,
+		Issuer:      c.Issuer,
+		Key:         c.Key,
+		NotBefore:   c.NotBefore,
+		NotAfter:    c.NotAfter,
+		Signature:   append([]byte(nil), c.Signature...),
+	}
 }
 
 // Parse reads a credential from its XML form. The signature is not

@@ -6,7 +6,14 @@ import (
 	"time"
 
 	"jxtaoverlay/internal/keys"
+	"jxtaoverlay/internal/lru"
 )
+
+// verifyCacheSize bounds the per-store cache of RSA signature verdicts.
+// Each entry is ~200 bytes of key material; 4096 entries comfortably
+// cover a broker re-validating the credential chains of thousands of
+// active peers.
+const verifyCacheSize = 4096
 
 // TrustStore verifies credentials and credential chains against a set of
 // anchors. Every JXTA-Overlay peer is provisioned with the
@@ -20,6 +27,14 @@ type TrustStore struct {
 	// client credential can be verified without re-presenting the broker
 	// credential every time.
 	issuers map[keys.PeerID]*Credential
+
+	// sigCache remembers successful RSA signature checks, keyed by
+	// (credential body digest, issuer key fingerprint, signature bytes).
+	// Only the expensive modular exponentiation is skipped on a hit: the
+	// validity window is always re-checked against the caller's clock, so
+	// an expired credential is rejected even when cached. Failed checks
+	// are never cached.
+	sigCache *lru.Cache[string, struct{}]
 }
 
 // NewTrustStore creates a store trusting the given anchor credentials.
@@ -27,8 +42,9 @@ type TrustStore struct {
 // are rejected.
 func NewTrustStore(anchors ...*Credential) (*TrustStore, error) {
 	ts := &TrustStore{
-		anchors: make(map[keys.PeerID]*Credential),
-		issuers: make(map[keys.PeerID]*Credential),
+		anchors:  make(map[keys.PeerID]*Credential),
+		issuers:  make(map[keys.PeerID]*Credential),
+		sigCache: lru.New[string, struct{}](verifyCacheSize),
 	}
 	for _, a := range anchors {
 		if a.Subject != a.Issuer {
@@ -71,13 +87,45 @@ func (t *TrustStore) IssuerKey(id keys.PeerID) (*keys.PublicKey, bool) {
 
 // Verify checks a single credential: its issuer must be a known anchor
 // or verified intermediate, and the signature and validity window must
-// hold.
+// hold. Signature verdicts are cached (see sigCache); the validity
+// window is enforced on every call.
 func (t *TrustStore) Verify(c *Credential, now time.Time) error {
 	key, ok := t.IssuerKey(c.Issuer)
 	if !ok {
 		return fmt.Errorf("%w: issuer %q", ErrUntrusted, c.Issuer)
 	}
-	return c.Verify(key, now)
+	return t.verifyCached(c, key, now)
+}
+
+// verifyCached is Credential.Verify with the RSA work memoized in the
+// store's signature cache.
+func (t *TrustStore) verifyCached(c *Credential, issuerKey *keys.PublicKey, now time.Time) error {
+	if now.Before(c.NotBefore) || now.After(c.NotAfter) {
+		return ErrExpired
+	}
+	m, err := c.bodyMemo()
+	if err != nil {
+		return err
+	}
+	fp, err := issuerKey.Fingerprint()
+	if err != nil {
+		return err
+	}
+	// The signature bytes are part of the key: a same-body credential
+	// carrying a different (possibly forged) signature must never ride a
+	// previous verdict.
+	cacheKey := string(m.digest) + string(fp[:]) + string(c.Signature)
+	if _, ok := t.sigCache.Get(cacheKey, now); ok {
+		return nil
+	}
+	if err := issuerKey.Verify(m.body, c.Signature); err != nil {
+		return ErrBadSignature
+	}
+	// The verdict can outlive its usefulness past NotAfter; expire it
+	// there so the cache never vouches for a credential the window check
+	// would reject anyway.
+	t.sigCache.Put(cacheKey, struct{}{}, c.NotAfter)
+	return nil
 }
 
 // VerifyChain checks a credential chain leaf-first: chain[0] must be
@@ -94,7 +142,7 @@ func (t *TrustStore) VerifyChain(now time.Time, chain ...*Credential) error {
 			if c.Issuer != next.Subject {
 				return fmt.Errorf("cred: chain broken at %d: issuer %q != next subject %q", i, c.Issuer, next.Subject)
 			}
-			if err := c.Verify(next.Key, now); err != nil {
+			if err := t.verifyCached(c, next.Key, now); err != nil {
 				return fmt.Errorf("cred: chain link %d: %w", i, err)
 			}
 			continue

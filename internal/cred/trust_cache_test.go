@@ -1,0 +1,84 @@
+package cred
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// The TrustStore memoizes successful RSA signature checks. These tests
+// pin the security contract of that cache: expiry is still enforced on
+// every call, and a same-body credential carrying a different signature
+// never rides a previous verdict.
+
+func TestTrustStoreCachedVerifyStillChecksExpiry(t *testing.T) {
+	adm, br, _ := setup(t)
+	ts, err := NewTrustStore(adm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	if err := ts.Verify(br, now); err != nil {
+		t.Fatalf("cold verify: %v", err)
+	}
+	if err := ts.Verify(br, now); err != nil {
+		t.Fatalf("warm verify: %v", err)
+	}
+	if h, _ := ts.sigCache.Stats(); h == 0 {
+		t.Fatal("second verify did not hit the signature cache")
+	}
+	// Past NotAfter the cached RSA verdict must not rescue the
+	// credential.
+	if err := ts.Verify(br, br.NotAfter.Add(time.Minute)); !errors.Is(err, ErrExpired) {
+		t.Fatalf("expired verify after caching = %v, want ErrExpired", err)
+	}
+	if err := ts.Verify(br, br.NotBefore.Add(-time.Minute)); !errors.Is(err, ErrExpired) {
+		t.Fatalf("not-yet-valid verify after caching = %v, want ErrExpired", err)
+	}
+}
+
+func TestTrustStoreCacheKeyedBySignature(t *testing.T) {
+	adm, br, _ := setup(t)
+	ts, err := NewTrustStore(adm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	if err := ts.Verify(br, now); err != nil {
+		t.Fatal(err)
+	}
+	// Same body, forged signature: byte-identical digest and issuer, but
+	// the cached verdict must not apply.
+	forged := br.Clone()
+	forged.Signature[0] ^= 0xff
+	if err := ts.Verify(forged, now); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("forged-signature verify after caching = %v, want ErrBadSignature", err)
+	}
+	// The genuine credential still verifies.
+	if err := ts.Verify(br, now); err != nil {
+		t.Fatalf("genuine verify after forgery attempt: %v", err)
+	}
+}
+
+func TestTrustStoreChainUsesCache(t *testing.T) {
+	adm, br, cl := setup(t)
+	ts, err := NewTrustStore(adm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	if err := ts.VerifyChain(now, cl, br); err != nil {
+		t.Fatalf("cold chain: %v", err)
+	}
+	if err := ts.VerifyChain(now, cl, br); err != nil {
+		t.Fatalf("warm chain: %v", err)
+	}
+	hits, _ := ts.sigCache.Stats()
+	if hits == 0 {
+		t.Fatal("repeat chain verification never hit the signature cache")
+	}
+	// Chain verification after leaf expiry must fail even when cached.
+	if err := ts.VerifyChain(cl.NotAfter.Add(time.Minute), cl, br); err == nil {
+		t.Fatal("chain with expired leaf accepted after caching")
+	}
+}

@@ -75,7 +75,7 @@ func TestDocStoredVerbatim(t *testing.T) {
 		t.Fatal("signature element lost in cache")
 	}
 	// And mutating the caller's doc must not reach the cache.
-	doc.Child("Signature").Text = "TAMPERED"
+	doc.Child("Signature").SetText("TAMPERED")
 	if rec.Doc.Child("Signature").Text != "SIGBYTES" {
 		t.Fatal("cache shares memory with caller document")
 	}

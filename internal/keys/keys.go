@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
 )
 
 // DefaultRSABits is the key size used when callers do not specify one.
@@ -51,6 +52,9 @@ var (
 // (administrator, broker or client peer).
 type KeyPair struct {
 	priv *rsa.PrivateKey
+	// pub memoizes Public so every caller shares one PublicKey wrapper
+	// (and with it the wrapper's fingerprint memo).
+	pub atomic.Pointer[PublicKey]
 }
 
 // NewKeyPair generates a key pair of DefaultRSABits using crypto/rand.
@@ -83,8 +87,15 @@ func KeyPairFrom(r io.Reader, bits int) (*KeyPair, error) {
 	return &KeyPair{priv: priv}, nil
 }
 
-// Public returns the public half.
-func (k *KeyPair) Public() *PublicKey { return &PublicKey{pub: &k.priv.PublicKey} }
+// Public returns the public half. The wrapper is shared across calls.
+func (k *KeyPair) Public() *PublicKey {
+	if p := k.pub.Load(); p != nil {
+		return p
+	}
+	p := &PublicKey{pub: &k.priv.PublicKey}
+	k.pub.Store(p)
+	return p
+}
 
 // Bits returns the modulus size in bits.
 func (k *KeyPair) Bits() int { return k.priv.N.BitLen() }
@@ -157,6 +168,11 @@ func ParseKeyPairPEM(data []byte) (*KeyPair, error) {
 // credentials and signed advertisements.
 type PublicKey struct {
 	pub *rsa.PublicKey
+	// fp memoizes Fingerprint: the digest keys of the verification
+	// caches include the key fingerprint, so it is recomputed far too
+	// often to re-serialize the PKIX encoding each time. Keys are
+	// immutable after construction, so the memo never goes stale.
+	fp atomic.Pointer[[32]byte]
 }
 
 // Verify checks a detached signature produced by KeyPair.Sign.
@@ -285,14 +301,19 @@ func ParsePublicBase64(s string) (*PublicKey, error) {
 	return ParsePublicDER(der)
 }
 
-// Fingerprint returns the SHA-256 digest of the PKIX encoding; CBIDs are
-// derived from it.
+// Fingerprint returns the SHA-256 digest of the PKIX encoding; CBIDs and
+// verification-cache keys are derived from it. The digest is memoized.
 func (p *PublicKey) Fingerprint() ([32]byte, error) {
+	if fp := p.fp.Load(); fp != nil {
+		return *fp, nil
+	}
 	der, err := p.MarshalDER()
 	if err != nil {
 		return [32]byte{}, err
 	}
-	return sha256.Sum256(der), nil
+	sum := sha256.Sum256(der)
+	p.fp.Store(&sum)
+	return sum, nil
 }
 
 // Equal reports whether two public keys are the same key.

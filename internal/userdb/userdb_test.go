@@ -362,9 +362,9 @@ func TestRemoteResponseAuthenticity(t *testing.T) {
 	f := newRemoteFixture(t)
 	// A response signed by the wrong key must be rejected by the client.
 	otherKP := mustKey(307)
-	fakeCred := *f.serverCred
+	fakeCred := f.serverCred.Clone()
 	fakeCred.Key = otherKP.Public()
-	badClient := NewClient(f.brEP, f.dbEP.PeerID(), f.brokerKP, f.brokerCred, &fakeCred)
+	badClient := NewClient(f.brEP, f.dbEP.PeerID(), f.brokerKP, f.brokerCred, fakeCred)
 	// badClient encrypts to the wrong key too, so the server can't even
 	// decrypt; either way the call must fail.
 	if _, err := badClient.Authenticate(ctx(t), "alice", "s3cret"); err == nil {

@@ -60,7 +60,7 @@ func Sign(doc *xmldoc.Element, kp *keys.KeyPair, chain ...*cred.Credential) erro
 	}
 	doc.RemoveChildren(SignatureElement)
 
-	digest := keys.SHA256(doc.Canonical())
+	digest := keys.SHA256(doc.CanonicalSkip(SignatureElement))
 	signedInfo := xmldoc.New("SignedInfo", "")
 	signedInfo.AddText("CanonicalizationMethod", c14nMethod)
 	signedInfo.AddText("SignatureMethod", sigMethod)
@@ -120,13 +120,13 @@ func Verify(doc *xmldoc.Element) (*Result, error) {
 	}
 
 	// Digest covers the document with every Signature element detached.
-	body := doc.Clone()
-	body.RemoveChildren(SignatureElement)
+	// CanonicalSkip serializes that form directly — no deep copy of the
+	// advertisement per verification.
 	wantDigest, err := base64.StdEncoding.DecodeString(signedInfo.ChildText("DigestValue"))
 	if err != nil {
 		return nil, fmt.Errorf("xdsig: digest value: %w", err)
 	}
-	if !keys.ConstantTimeEqual(keys.SHA256(body.Canonical()), wantDigest) {
+	if !keys.ConstantTimeEqual(keys.SHA256(doc.CanonicalSkip(SignatureElement)), wantDigest) {
 		return nil, ErrDigestMismatch
 	}
 

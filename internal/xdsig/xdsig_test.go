@@ -121,7 +121,7 @@ func TestVerifyDetectsTamper(t *testing.T) {
 		t.Fatalf("Sign: %v", err)
 	}
 	// The forged-advertisement attack from §2.3: redirect the pipe.
-	doc.Child("Id").Text = "urn:jxta:pipe-evil"
+	doc.Child("Id").SetText("urn:jxta:pipe-evil")
 	if _, err := Verify(doc); err != ErrDigestMismatch {
 		t.Fatalf("Verify tampered doc = %v, want ErrDigestMismatch", err)
 	}
@@ -153,10 +153,10 @@ func TestVerifyDetectsSignedInfoTamper(t *testing.T) {
 	}
 	// Attacker rewrites the document AND fixes up the digest — the
 	// SignedInfo signature must then fail.
-	doc.Child("Id").Text = "urn:jxta:pipe-evil"
+	doc.Child("Id").SetText("urn:jxta:pipe-evil")
 	body := StripSignature(doc)
 	di := doc.Child(SignatureElement).Child("SignedInfo").Child("DigestValue")
-	di.Text = b64(keys.SHA256(body.Canonical()))
+	di.SetText(b64(keys.SHA256(body.Canonical())))
 	if _, err := Verify(doc); err != ErrBadSignature {
 		t.Fatalf("Verify = %v, want ErrBadSignature", err)
 	}
@@ -230,7 +230,7 @@ func TestSignReplacesExistingSignature(t *testing.T) {
 	if err := Sign(doc, clientKP, f.cl, f.br); err != nil {
 		t.Fatal(err)
 	}
-	doc.Child("Name").Text = "msg/alice-v2"
+	doc.Child("Name").SetText("msg/alice-v2")
 	if err := Sign(doc, clientKP, f.cl, f.br); err != nil {
 		t.Fatalf("re-Sign: %v", err)
 	}
@@ -271,7 +271,7 @@ func TestVerifyErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	alg := doc.Child(SignatureElement).Child("SignedInfo").Child("SignatureMethod")
-	alg.Text = "rsa-md5" // downgrade attempt
+	alg.SetText("rsa-md5") // downgrade attempt
 	if _, err := Verify(doc); err != ErrAlgorithm {
 		t.Fatalf("Verify with downgraded algorithm = %v, want ErrAlgorithm", err)
 	}

@@ -1,0 +1,266 @@
+package xmldoc
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// refCanonical is an independent, deliberately naive canonicalizer —
+// the oracle the memoizing fast path is checked against. It mirrors the
+// specification: open tag, attributes sorted by name, escaped text,
+// children in order, close tag.
+func refCanonical(e *Element) []byte {
+	var b strings.Builder
+	refWrite(&b, e)
+	return []byte(b.String())
+}
+
+func refWrite(b *strings.Builder, e *Element) {
+	b.WriteByte('<')
+	b.WriteString(e.Name)
+	attrs := make([]Attr, len(e.Attrs))
+	copy(attrs, e.Attrs)
+	sort.Slice(attrs, func(i, j int) bool { return attrs[i].Name < attrs[j].Name })
+	for _, a := range attrs {
+		b.WriteString(" " + a.Name + `="`)
+		b.WriteString(refEscape(a.Value, true))
+		b.WriteByte('"')
+	}
+	b.WriteByte('>')
+	b.WriteString(refEscape(e.Text, false))
+	for _, c := range e.Children {
+		refWrite(b, c)
+	}
+	b.WriteString("</" + e.Name + ">")
+}
+
+func refEscape(s string, attr bool) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r == '&':
+			b.WriteString("&amp;")
+		case r == '<':
+			b.WriteString("&lt;")
+		case r == '>' && !attr:
+			b.WriteString("&gt;")
+		case r == '"' && attr:
+			b.WriteString("&quot;")
+		case r == '\t' && attr:
+			b.WriteString("&#x9;")
+		case r == '\n' && attr:
+			b.WriteString("&#xA;")
+		case r == '\r':
+			b.WriteString("&#xD;")
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func checkAgainstRef(t *testing.T, e *Element, context string) {
+	t.Helper()
+	if got, want := e.Canonical(), refCanonical(e); !bytes.Equal(got, want) {
+		t.Fatalf("%s: Canonical() = %q, reference = %q", context, got, want)
+	}
+}
+
+func TestCanonicalInvalidUTF8MatchesReference(t *testing.T) {
+	// Invalid UTF-8 must canonicalize to U+FFFD exactly as the rune-wise
+	// reference does — the canonical form is signing input, so the two
+	// serializers may never diverge.
+	e := New("T", "ok\xffbad")
+	e.SetAttr("a", "x\xfe\xffy")
+	e.AddText("C", "\x80")
+	checkAgainstRef(t, e, "invalid utf-8")
+	if !bytes.Contains(e.Canonical(), []byte("�")) {
+		t.Fatalf("invalid byte not replaced: %q", e.Canonical())
+	}
+}
+
+func TestCanonicalMemoized(t *testing.T) {
+	e := NewTree("Adv", New("Id", "urn:x"), New("Name", "n"))
+	first := e.Canonical()
+	second := e.Canonical()
+	if &first[0] != &second[0] {
+		t.Fatal("repeated Canonical() did not return the memoized bytes")
+	}
+}
+
+// TestMutatorsInvalidate drives every mutator and confirms the memo is
+// dropped on the mutated element and all ancestors.
+func TestMutatorsInvalidate(t *testing.T) {
+	build := func() (*Element, *Element) {
+		inner := NewTree("Inner", New("Leaf", "v"))
+		root := NewTree("Root", New("A", "1"), inner)
+		return root, inner
+	}
+	cases := []struct {
+		name   string
+		mutate func(root, inner *Element)
+	}{
+		{"Add", func(_, inner *Element) { inner.Add(New("New", "x")) }},
+		{"AddText", func(_, inner *Element) { inner.AddText("New", "x") }},
+		{"SetText", func(_, inner *Element) { inner.Child("Leaf").SetText("changed") }},
+		{"SetAttr-new", func(_, inner *Element) { inner.SetAttr("k", "v") }},
+		{"SetAttr-replace", func(_, inner *Element) {
+			inner.SetAttr("k", "v1") // also invalidates, tested via fresh canonical below
+			inner.SetAttr("k", "v2")
+		}},
+		{"RemoveChildren", func(_, inner *Element) { inner.RemoveChildren("Leaf") }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			root, inner := build()
+			before := append([]byte(nil), root.Canonical()...) // populate memos
+			_ = inner.Canonical()
+			tc.mutate(root, inner)
+			checkAgainstRef(t, root, "root after "+tc.name)
+			checkAgainstRef(t, inner, "inner after "+tc.name)
+			if bytes.Equal(root.Canonical(), before) {
+				t.Fatalf("root canonical unchanged after %s — stale memo", tc.name)
+			}
+		})
+	}
+}
+
+// TestPropertyCacheInvalidation applies random mutation sequences
+// through the mutator API, interleaved with Canonical calls that
+// populate memos at every level, and checks the canonical bytes against
+// the reference serializer after each step.
+func TestPropertyCacheInvalidation(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	names := []string{"A", "B", "C", "D"}
+	for round := 0; round < 50; round++ {
+		root := randomTree(r, 3)
+		nodes := collect(root)
+		for step := 0; step < 30; step++ {
+			// Populate memos on a random subset before mutating.
+			_ = root.Canonical()
+			_ = nodes[r.Intn(len(nodes))].Canonical()
+
+			target := nodes[r.Intn(len(nodes))]
+			switch r.Intn(5) {
+			case 0:
+				target.AddText(names[r.Intn(len(names))], randText(r))
+			case 1:
+				sub := randomTree(r, 1)
+				target.Add(sub)
+			case 2:
+				target.SetText(randText(r))
+			case 3:
+				target.SetAttr(names[r.Intn(len(names))]+"attr", randText(r))
+			case 4:
+				if len(target.Children) > 0 {
+					target.RemoveChildren(target.Children[r.Intn(len(target.Children))].Name)
+				}
+			}
+			nodes = collect(root)
+			if got, want := root.Canonical(), refCanonical(root); !bytes.Equal(got, want) {
+				t.Fatalf("round %d step %d: stale canonical\n got: %q\nwant: %q", round, step, got, want)
+			}
+		}
+	}
+}
+
+func collect(e *Element) []*Element {
+	out := []*Element{e}
+	for _, c := range e.Children {
+		out = append(out, collect(c)...)
+	}
+	return out
+}
+
+func TestCanonicalSkipMatchesCloneStrip(t *testing.T) {
+	doc := NewTree("PipeAdvertisement",
+		New("Id", "urn:jxta:pipe-1"),
+		New("Name", "msg/alice"),
+	)
+	doc.Add(NewTree("Signature", New("SignatureValue", "AAAA")))
+	doc.Add(NewTree("Signature", New("SignatureValue", "BBBB"))) // every Signature child is skipped
+	_ = doc.Canonical()                                          // memoized full form must not leak into the skipped form
+
+	want := func() []byte {
+		c := doc.Clone()
+		c.RemoveChildren("Signature")
+		return refCanonical(c)
+	}()
+	if got := doc.CanonicalSkip("Signature"); !bytes.Equal(got, want) {
+		t.Fatalf("CanonicalSkip = %q, want %q", got, want)
+	}
+	// Skipping a name that does not appear must equal the plain form.
+	if got := doc.CanonicalSkip("Absent"); !bytes.Equal(got, doc.Canonical()) {
+		t.Fatal("CanonicalSkip(absent) differs from Canonical")
+	}
+	// And the full form must still include the signatures afterwards.
+	if !bytes.Contains(doc.Canonical(), []byte("BBBB")) {
+		t.Fatal("Canonical lost the Signature children")
+	}
+}
+
+func TestAppendCanonical(t *testing.T) {
+	e := NewTree("R", New("C", "x"))
+	dst := []byte("prefix:")
+	dst = e.AppendCanonical(dst)
+	want := "prefix:" + string(refCanonical(e))
+	if string(dst) != want {
+		t.Fatalf("AppendCanonical = %q, want %q", dst, want)
+	}
+	// Appending from the memo must produce identical bytes.
+	_ = e.Canonical()
+	if got := e.AppendCanonical([]byte("prefix:")); string(got) != want {
+		t.Fatalf("AppendCanonical (memoized) = %q, want %q", got, want)
+	}
+}
+
+func TestCloneCarriesIndependentCache(t *testing.T) {
+	e := NewTree("R", New("C", "x"))
+	orig := e.Canonical()
+	c := e.Clone()
+	if !bytes.Equal(c.Canonical(), orig) {
+		t.Fatal("clone canonical differs")
+	}
+	// Mutating the clone must not disturb the original's bytes.
+	c.Child("C").SetText("y")
+	checkAgainstRef(t, c, "clone after mutation")
+	if !bytes.Equal(e.Canonical(), orig) {
+		t.Fatal("original canonical changed after clone mutation")
+	}
+}
+
+// TestConcurrentCanonical exercises the memo under concurrent readers;
+// run with -race.
+func TestConcurrentCanonical(t *testing.T) {
+	doc := NewTree("Adv", New("Id", "urn:x"), New("Name", "y"))
+	want := refCanonical(doc)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if got := doc.Canonical(); !bytes.Equal(got, want) {
+					errs <- fmt.Errorf("concurrent Canonical = %q", got)
+					return
+				}
+				if got := doc.String(); got != string(want) {
+					errs <- fmt.Errorf("concurrent String = %q", got)
+					return
+				}
+				_ = doc.CanonicalSkip("Name")
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

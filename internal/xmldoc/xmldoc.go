@@ -19,6 +19,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Attr is a single name="value" attribute on an element.
@@ -31,11 +32,35 @@ type Attr struct {
 // kept separately: JXTA documents are "element normal form" — an element
 // carries either a text payload or child elements, not interleaved mixed
 // content. Parsing concatenates any character data into Text.
+//
+// Canonical serializations are memoized per element (see canonical.go).
+// The fields stay exported for reading and for building fresh trees, but
+// once an element has been canonicalized it must only be changed through
+// the mutator methods (Add, AddText, SetText, SetAttr, RemoveChildren):
+// they drop the memoized bytes on the element and every ancestor. A
+// direct field write after canonicalization leaves a stale memo behind.
 type Element struct {
 	Name     string
 	Attrs    []Attr
 	Text     string
 	Children []*Element
+
+	// parent backlinks let a mutation invalidate the memoized canonical
+	// bytes of every enclosing element. An element has at most one parent;
+	// attaching it to a second tree re-points the backlink.
+	parent *Element
+	// canon memoizes the element's canonical serialization. Atomic so
+	// concurrent readers (Canonical/String on shared cached documents)
+	// are race-free; mutating a tree concurrently with reads remains the
+	// caller's responsibility, exactly as before memoization.
+	canon atomic.Pointer[[]byte]
+}
+
+// invalidate drops the memoized canonical bytes on e and every ancestor.
+func (e *Element) invalidate() {
+	for p := e; p != nil; p = p.parent {
+		p.canon.Store(nil)
+	}
 }
 
 // New returns an element with the given name and text payload.
@@ -45,12 +70,17 @@ func New(name, text string) *Element {
 
 // NewTree returns an element with the given name and children.
 func NewTree(name string, children ...*Element) *Element {
-	return &Element{Name: name, Children: children}
+	e := &Element{Name: name}
+	return e.Add(children...)
 }
 
 // Add appends children and returns the receiver for chaining.
 func (e *Element) Add(children ...*Element) *Element {
+	for _, c := range children {
+		c.parent = e
+	}
 	e.Children = append(e.Children, children...)
+	e.invalidate()
 	return e
 }
 
@@ -60,8 +90,18 @@ func (e *Element) AddText(name, text string) *Element {
 	return e.Add(New(name, text))
 }
 
+// SetText replaces the element's text payload. Like every mutator it
+// invalidates the memoized canonical form up the tree, so it is the only
+// correct way to change Text after an element has been canonicalized.
+func (e *Element) SetText(text string) *Element {
+	e.Text = text
+	e.invalidate()
+	return e
+}
+
 // SetAttr sets (or replaces) an attribute value.
 func (e *Element) SetAttr(name, value string) *Element {
+	defer e.invalidate()
 	for i := range e.Attrs {
 		if e.Attrs[i].Name == name {
 			e.Attrs[i].Value = value
@@ -119,16 +159,20 @@ func (e *Element) RemoveChildren(name string) int {
 	removed := 0
 	for _, c := range e.Children {
 		if c.Name == name {
+			c.parent = nil
 			removed++
 			continue
 		}
 		kept = append(kept, c)
 	}
 	e.Children = kept
+	e.invalidate()
 	return removed
 }
 
-// Clone returns a deep copy of the element tree.
+// Clone returns a deep copy of the element tree. The copy carries over
+// any memoized canonical bytes (they describe an identical tree) but is
+// otherwise independent: mutating either tree never affects the other.
 func (e *Element) Clone() *Element {
 	if e == nil {
 		return nil
@@ -139,8 +183,11 @@ func (e *Element) Clone() *Element {
 		copy(out.Attrs, e.Attrs)
 	}
 	for _, c := range e.Children {
-		out.Children = append(out.Children, c.Clone())
+		cc := c.Clone()
+		cc.parent = out
+		out.Children = append(out.Children, cc)
 	}
+	out.canon.Store(e.canon.Load())
 	return out
 }
 
@@ -174,122 +221,49 @@ func sortedAttrs(in []Attr) []Attr {
 	return out
 }
 
-// Canonical returns the deterministic canonical serialization of the
-// tree. Two structurally equal trees always canonicalize to identical
-// bytes, which makes the output suitable as signing input.
-func (e *Element) Canonical() []byte {
-	var b strings.Builder
-	e.writeCanonical(&b)
-	return []byte(b.String())
-}
-
-func (e *Element) writeCanonical(b *strings.Builder) {
-	b.WriteByte('<')
-	b.WriteString(e.Name)
-	for _, a := range sortedAttrs(e.Attrs) {
-		b.WriteByte(' ')
-		b.WriteString(a.Name)
-		b.WriteString(`="`)
-		escapeAttr(b, a.Value)
-		b.WriteByte('"')
-	}
-	b.WriteByte('>')
-	escapeText(b, e.Text)
-	for _, c := range e.Children {
-		c.writeCanonical(b)
-	}
-	b.WriteString("</")
-	b.WriteString(e.Name)
-	b.WriteByte('>')
-}
-
-// String renders the canonical form; handy for debugging and logs.
+// String renders the canonical form; handy for debugging and logs. It
+// shares Canonical's memo, so repeated renderings cost one string
+// conversion rather than a full serialization.
 func (e *Element) String() string { return string(e.Canonical()) }
 
 // Indented returns a pretty-printed rendering for human consumption. The
 // output is NOT canonical and must never be used as signing input.
 func (e *Element) Indented() string {
-	var b strings.Builder
-	e.writeIndented(&b, 0)
-	return b.String()
+	return string(e.appendIndented(nil, 0))
 }
 
-func (e *Element) writeIndented(b *strings.Builder, depth int) {
+func (e *Element) appendIndented(dst []byte, depth int) []byte {
 	pad := strings.Repeat("  ", depth)
-	b.WriteString(pad)
-	b.WriteByte('<')
-	b.WriteString(e.Name)
+	dst = append(dst, pad...)
+	dst = append(dst, '<')
+	dst = append(dst, e.Name...)
 	for _, a := range sortedAttrs(e.Attrs) {
-		b.WriteByte(' ')
-		b.WriteString(a.Name)
-		b.WriteString(`="`)
-		escapeAttr(b, a.Value)
-		b.WriteByte('"')
+		dst = appendAttr(dst, a)
 	}
 	if len(e.Children) == 0 && e.Text == "" {
-		b.WriteString("/>\n")
-		return
+		return append(dst, "/>\n"...)
 	}
-	b.WriteByte('>')
+	dst = append(dst, '>')
 	if len(e.Children) == 0 {
-		escapeText(b, e.Text)
-		b.WriteString("</")
-		b.WriteString(e.Name)
-		b.WriteString(">\n")
-		return
+		dst = appendEscapedText(dst, e.Text)
+		dst = append(dst, '<', '/')
+		dst = append(dst, e.Name...)
+		return append(dst, ">\n"...)
 	}
-	b.WriteByte('\n')
+	dst = append(dst, '\n')
 	if e.Text != "" {
-		b.WriteString(pad)
-		b.WriteString("  ")
-		escapeText(b, e.Text)
-		b.WriteByte('\n')
+		dst = append(dst, pad...)
+		dst = append(dst, "  "...)
+		dst = appendEscapedText(dst, e.Text)
+		dst = append(dst, '\n')
 	}
 	for _, c := range e.Children {
-		c.writeIndented(b, depth+1)
+		dst = c.appendIndented(dst, depth+1)
 	}
-	b.WriteString(pad)
-	b.WriteString("</")
-	b.WriteString(e.Name)
-	b.WriteString(">\n")
-}
-
-func escapeText(b *strings.Builder, s string) {
-	for _, r := range s {
-		switch r {
-		case '&':
-			b.WriteString("&amp;")
-		case '<':
-			b.WriteString("&lt;")
-		case '>':
-			b.WriteString("&gt;")
-		case '\r':
-			b.WriteString("&#xD;")
-		default:
-			b.WriteRune(r)
-		}
-	}
-}
-
-func escapeAttr(b *strings.Builder, s string) {
-	for _, r := range s {
-		switch r {
-		case '&':
-			b.WriteString("&amp;")
-		case '<':
-			b.WriteString("&lt;")
-		case '"':
-			b.WriteString("&quot;")
-		case '\t':
-			b.WriteString("&#x9;")
-		case '\n':
-			b.WriteString("&#xA;")
-		case '\r':
-			b.WriteString("&#xD;")
-		default:
-			b.WriteRune(r)
-		}
-	}
+	dst = append(dst, pad...)
+	dst = append(dst, '<', '/')
+	dst = append(dst, e.Name...)
+	return append(dst, ">\n"...)
 }
 
 // ErrEmptyDocument is returned by Parse when the input holds no element.
@@ -328,6 +302,7 @@ func Parse(r io.Reader) (*Element, error) {
 				root = el
 			} else {
 				parent := stack[len(stack)-1]
+				el.parent = parent
 				parent.Children = append(parent.Children, el)
 			}
 			stack = append(stack, el)

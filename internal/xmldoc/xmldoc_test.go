@@ -197,7 +197,7 @@ func randomTree(r *rand.Rand, depth int) *Element {
 	}
 	if depth > 0 {
 		for i := 0; i < r.Intn(4); i++ {
-			e.Children = append(e.Children, randomTree(r, depth-1))
+			e.Add(randomTree(r, depth-1))
 		}
 	}
 	if len(e.Children) > 0 {

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Run the repo benchmarks and append a machine-readable snapshot as
+# BENCH_<n>.json (next free n), so the performance trajectory across
+# PRs stays on record. Knobs:
+#   BENCH=<regex>      benchmark filter   (default: all)
+#   BENCHTIME=<spec>   go -benchtime      (default: 1s)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+n=0
+while [ -e "BENCH_${n}.json" ]; do n=$((n + 1)); done
+out="BENCH_${n}.json"
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+go test -bench="${BENCH:-.}" -benchtime="${BENCHTIME:-1s}" -run='^$' . | tee "$raw"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v goversion="$(go version)" '
+BEGIN {
+    printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"benchmarks\": [", date, goversion
+    first = 1
+}
+/^cpu:/ { cpu = substr($0, 6); gsub(/^ +| +$/, "", cpu) }
+/^Benchmark/ {
+    name = $1; iters = $2
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i + 1) == "ns/op") ns = $i
+        if ($(i + 1) == "B/op") bytes = $i
+        if ($(i + 1) == "allocs/op") allocs = $i
+    }
+    if (!first) printf ","
+    first = 0
+    printf "\n    {\"name\": \"%s\", \"iterations\": %s", name, iters
+    if (ns != "") printf ", \"ns_per_op\": %s", ns
+    if (bytes != "") printf ", \"bytes_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf "}"
+}
+END {
+    printf "\n  ],\n  \"cpu\": \"%s\"\n}\n", cpu
+}' "$raw" > "$out"
+
+echo "wrote $out"
