@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"jxtaoverlay/internal/keys"
@@ -52,8 +53,17 @@ type Advertisement interface {
 // ErrUnknownType is returned when parsing an unregistered root element.
 var ErrUnknownType = errors.New("advert: unknown advertisement type")
 
+// parseCalls counts Parse invocations. The broker publish path promises
+// to parse each advertisement exactly once; tests assert that promise on
+// this counter rather than trusting the call graph.
+var parseCalls atomic.Uint64
+
+// ParseCalls reports how many times Parse has run (process-wide).
+func ParseCalls() uint64 { return parseCalls.Load() }
+
 // Parse dispatches on the document's root element name.
 func Parse(doc *xmldoc.Element) (Advertisement, error) {
+	parseCalls.Add(1)
 	if doc == nil {
 		return nil, errors.New("advert: nil document")
 	}

@@ -12,11 +12,13 @@ package attack
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"sync"
 	"time"
 
 	"jxtaoverlay/internal/advert"
 	"jxtaoverlay/internal/broker"
+	"jxtaoverlay/internal/core"
 	"jxtaoverlay/internal/endpoint"
 	"jxtaoverlay/internal/keys"
 	"jxtaoverlay/internal/proto"
@@ -155,6 +157,47 @@ func SpoofedPipeMessage(claimedFrom, to keys.PeerID, pipeID, group, body string)
 		AddString(proto.ElemBody, body).
 		AddString(proto.ElemGroup, group)
 	return msg.Marshal()
+}
+
+// ForgeRound acts as a malicious group-round recipient: having opened a
+// round legitimately, the attacker holds the validly signed round header
+// (core.Opened.HeaderXML) and the plaintext body, and re-encrypts them
+// under a fresh content key wrapped to an arbitrary recipient set — the
+// "shared authenticated header" abuse the round format must resist. The
+// wire layout mirrors core.SealGroup exactly; only the signature cannot
+// be re-minted, which is what the recipient-set binding and single-use
+// nonce checks exploit.
+func ForgeRound(headerXML, body []byte, recipients []*keys.PublicKey) ([]byte, error) {
+	cek, err := keys.NewContentKey()
+	if err != nil {
+		return nil, err
+	}
+	block := make([]byte, 0, 4+len(headerXML)+len(body))
+	block = binary.BigEndian.AppendUint32(block, uint32(len(headerXML)))
+	block = append(block, headerXML...)
+	block = append(block, body...)
+	nonce, ct, err := keys.AEADSeal(cek, block)
+	if err != nil {
+		return nil, err
+	}
+	wire := []byte{byte(core.ModeGroup)}
+	wire = binary.BigEndian.AppendUint32(wire, uint32(len(recipients)))
+	for _, r := range recipients {
+		fp, err := r.Fingerprint()
+		if err != nil {
+			return nil, err
+		}
+		wrap, err := r.WrapKey(cek)
+		if err != nil {
+			return nil, err
+		}
+		wire = append(wire, fp[:]...)
+		wire = binary.BigEndian.AppendUint32(wire, uint32(len(wrap)))
+		wire = append(wire, wrap...)
+	}
+	wire = binary.BigEndian.AppendUint32(wire, uint32(len(nonce)))
+	wire = append(wire, nonce...)
+	return append(wire, ct...), nil
 }
 
 // NewFakeBroker stands up a broker that accepts every login — the

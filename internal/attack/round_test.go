@@ -1,0 +1,127 @@
+// Round-header replay negatives: the group fan-out round shares ONE
+// signed header across every recipient, which creates attack surface the
+// unicast envelope never had — a legitimate round member holds a validly
+// signed header plus the plaintext and can try to re-encrypt them. These
+// tests pin the two defenses (signed recipient-set binding, single-use
+// round nonce) and the wire-integrity baseline (tampered key wraps).
+package attack_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"jxtaoverlay/internal/attack"
+	"jxtaoverlay/internal/core"
+	"jxtaoverlay/internal/keys"
+)
+
+type roundParty struct {
+	kp *keys.KeyPair
+	id keys.PeerID
+}
+
+func newRoundParty(t *testing.T) roundParty {
+	t.Helper()
+	kp, err := keys.NewKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := keys.CBID(kp.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return roundParty{kp: kp, id: id}
+}
+
+// TestRoundHeaderRetargetedRecipientSetRejected: mallory, a legitimate
+// recipient of alice's round, splices the signed header onto a wire
+// addressed to a different recipient set (bob alone). Bob decrypts
+// fine — mallory wrapped the fresh key for him — but the signed
+// Recipients digest still names {bob, mallory}, so OpenGroup rejects
+// the round before its valid signature can vouch for anything.
+func TestRoundHeaderRetargetedRecipientSetRejected(t *testing.T) {
+	alice, bob, mallory := newRoundParty(t), newRoundParty(t), newRoundParty(t)
+	sealed, err := core.SealGroup(alice.kp, alice.id, "math", []byte("round secret"),
+		[]*keys.PublicKey{bob.kp.Public(), mallory.kp.Public()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mallory opens her copy and harvests the signed header + body.
+	opened, err := core.OpenGroup(mallory.kp, sealed.Bytes(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged, err := attack.ForgeRound(opened.HeaderXML(), opened.Body,
+		[]*keys.PublicKey{bob.kp.Public()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.OpenGroup(bob.kp, forged, nil); !errors.Is(err, core.ErrRoundBinding) {
+		t.Fatalf("re-targeted round = %v, want ErrRoundBinding", err)
+	}
+}
+
+// TestRoundHeaderStaleNonceReuseRejected: mallory re-encrypts the round
+// to its ORIGINAL recipient set, so the recipient-set binding, the body
+// digest and the header signature all still hold — only the single-use
+// round nonce distinguishes the forgery from the round bob already
+// accepted. The receive-side guard must reject the reuse.
+func TestRoundHeaderStaleNonceReuseRejected(t *testing.T) {
+	alice, bob, mallory := newRoundParty(t), newRoundParty(t), newRoundParty(t)
+	recipients := []*keys.PublicKey{bob.kp.Public(), mallory.kp.Public()}
+	sealed, err := core.SealGroup(alice.kp, alice.id, "math", []byte("round secret"), recipients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guard := core.NewReplayGuard(time.Minute, 64)
+	if _, err := core.OpenGroup(bob.kp, sealed.Bytes(), guard); err != nil {
+		t.Fatalf("legitimate round rejected: %v", err)
+	}
+	opened, err := core.OpenGroup(mallory.kp, sealed.Bytes(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged, err := attack.ForgeRound(opened.HeaderXML(), opened.Body, recipients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The forged wire differs byte-for-byte from the original (fresh
+	// content key and GCM nonce), so only the signed round nonce can
+	// identify it as a replay.
+	if _, err := core.OpenGroup(bob.kp, forged, guard); !errors.Is(err, core.ErrMessageReplayed) {
+		t.Fatalf("nonce-reusing round = %v, want ErrMessageReplayed", err)
+	}
+	// And even without prior delivery, the forgery cannot outlive the
+	// freshness window: well past the signed timestamp it is stale.
+	lateGuard := core.NewReplayGuard(time.Minute, 64)
+	lateGuard.SetClock(func() time.Time { return time.Now().Add(10 * time.Minute) })
+	if _, err := core.OpenGroup(bob.kp, forged, lateGuard); !errors.Is(err, core.ErrMessageStale) {
+		t.Fatalf("aged round = %v, want ErrMessageStale", err)
+	}
+}
+
+// TestRoundTamperedKeyWrapRejected: an on-path attacker flips bits in a
+// recipient's key wrap. The recipient must fail to open the round —
+// OAEP unwrapping (or the AEAD under a corrupted key) cannot succeed.
+func TestRoundTamperedKeyWrapRejected(t *testing.T) {
+	alice, bob, mallory := newRoundParty(t), newRoundParty(t), newRoundParty(t)
+	sealed, err := core.SealGroup(alice.kp, alice.id, "math", []byte("round secret"),
+		[]*keys.PublicKey{bob.kp.Public(), mallory.kp.Public()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := append([]byte(nil), sealed.Bytes()...)
+	// First wrap entry (bob's, wire order = recipient order) sits after
+	// the mode byte, wrap count and fingerprint: corrupt its payload.
+	wrapStart := 1 + 4 + 32 + 4
+	wire[wrapStart+7] ^= 0xff
+	if _, err := core.OpenGroup(bob.kp, wire, nil); err == nil {
+		t.Fatal("tampered key wrap opened successfully")
+	}
+	// The untouched recipient still opens — corruption is contained to
+	// the targeted wrap.
+	if _, err := core.OpenGroup(mallory.kp, wire, nil); err != nil {
+		t.Fatalf("untampered recipient rejected: %v", err)
+	}
+}

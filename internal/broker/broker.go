@@ -28,6 +28,7 @@ import (
 	"jxtaoverlay/internal/endpoint"
 	"jxtaoverlay/internal/events"
 	"jxtaoverlay/internal/keys"
+	"jxtaoverlay/internal/parallel"
 	"jxtaoverlay/internal/peergroup"
 	"jxtaoverlay/internal/proto"
 	"jxtaoverlay/internal/simnet"
@@ -69,9 +70,12 @@ func (p PeerInfo) Local() bool { return p.Origin == "" }
 type OpHandler func(from keys.PeerID, msg *endpoint.Message) *endpoint.Message
 
 // AdvVerifier validates a published advertisement document before the
-// broker accepts and propagates it. The security extension installs one
-// backed by xdsig; nil accepts everything (the original behaviour).
-type AdvVerifier func(doc *xmldoc.Element) error
+// broker accepts and propagates it, and returns the parsed
+// advertisement so the broker never parses a document twice (the
+// verifier already had to parse it for the ownership check). The
+// security extension installs one backed by xdsig; nil accepts
+// everything (the original behaviour) and leaves parsing to the broker.
+type AdvVerifier func(doc *xmldoc.Element) (advert.Advertisement, error)
 
 // Config parameterizes a broker.
 type Config struct {
@@ -369,31 +373,51 @@ func (b *Broker) handlePublishAdv(from keys.PeerID, msg *endpoint.Message) *endp
 	if err != nil {
 		return proto.Fail(proto.ErrBadRequest)
 	}
-	b.mu.RLock()
-	verifier := b.advVerifier
-	b.mu.RUnlock()
-	if verifier != nil {
-		if err := verifier(doc); err != nil {
-			return proto.Fail(proto.ErrUnsignedAdv)
-		}
-	}
-	parsed, err := advert.Parse(doc)
-	if err != nil {
-		return proto.Fail(proto.ErrBadRequest)
+	// The advertisement is parsed exactly once on this path: by the
+	// verifier when one is installed (it parses for the ownership check
+	// anyway), by the broker otherwise. The parsed form then rides into
+	// the cache via PutParsed.
+	parsed, errTok := b.verifyAndParse(doc)
+	if errTok != "" {
+		return proto.Fail(errTok)
 	}
 	// A peer may only publish into groups it belongs to.
-	if group := advGroup(parsed); group != "" && !b.memberOf(from, group) {
+	group := advGroup(parsed)
+	if group != "" && !b.memberOf(from, group) {
 		return proto.Fail(proto.ErrNoGroup)
 	}
-	adv, err := b.ctl.Cache().Put(doc)
-	if err != nil {
+	if err := b.ctl.Cache().PutParsed(doc, parsed); err != nil {
 		return proto.Fail(proto.ErrBadRequest)
 	}
-	if group := advGroup(adv); group != "" {
+	if group != "" {
 		b.PropagateAdv(doc, group, from)
 	}
 	b.forwardAdvToFederation(doc, from)
 	return proto.OK()
+}
+
+// verifyAndParse runs the acceptance policy and yields the
+// exactly-once-parsed advertisement, or a protocol error token.
+func (b *Broker) verifyAndParse(doc *xmldoc.Element) (advert.Advertisement, string) {
+	b.mu.RLock()
+	verifier := b.advVerifier
+	b.mu.RUnlock()
+	if verifier != nil {
+		parsed, err := verifier(doc)
+		if err != nil {
+			return nil, proto.ErrUnsignedAdv
+		}
+		if parsed != nil {
+			return parsed, ""
+		}
+		// Defensive: a verifier that accepts without parsing falls back
+		// to the broker's own parse.
+	}
+	parsed, err := advert.Parse(doc)
+	if err != nil {
+		return nil, proto.ErrBadRequest
+	}
+	return parsed, ""
 }
 
 // advGroup extracts the group an advertisement belongs to, if any.
@@ -433,26 +457,15 @@ func (b *Broker) propagateLocal(doc *xmldoc.Element, group string, except keys.P
 		}
 		targets = append(targets, p.ID)
 	}
-	if len(targets) <= 1 {
-		for _, id := range targets {
-			_ = b.ep.Send(id, proto.ClientService, push)
-		}
+	if len(targets) == 1 {
+		_ = b.ep.Send(targets[0], proto.ClientService, push)
 		return
 	}
 	// Fan the sends out in parallel: large groups should pay the wire
 	// latency of one recipient, not the sum of all of them.
-	sem := make(chan struct{}, sendParallelism)
-	var wg sync.WaitGroup
-	for _, id := range targets {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(id keys.PeerID) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			_ = b.ep.Send(id, proto.ClientService, push)
-		}(id)
-	}
-	wg.Wait()
+	parallel.ForEach(sendParallelism, len(targets), func(i int) {
+		_ = b.ep.Send(targets[i], proto.ClientService, push)
+	})
 }
 
 // sendParallelism bounds concurrent recipient sends in group fan-outs.

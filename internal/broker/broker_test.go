@@ -209,8 +209,8 @@ func TestPublishAdvMembership(t *testing.T) {
 
 func TestAdvVerifierHook(t *testing.T) {
 	b, net := newBroker(t)
-	b.SetAdvVerifier(func(doc *xmldoc.Element) error {
-		return errors.New("nothing is trusted")
+	b.SetAdvVerifier(func(doc *xmldoc.Element) (advert.Advertisement, error) {
+		return nil, errors.New("nothing is trusted")
 	})
 	c := newCaller(t, net, b, "urn:jxta:c1")
 	c.login("alice")
@@ -219,6 +219,42 @@ func TestAdvVerifierHook(t *testing.T) {
 	resp := c.op(proto.OpPublishAdv, proto.ElemAdv, string(doc.Canonical()))
 	if ok, errTok := proto.IsOK(resp); ok || errTok != proto.ErrUnsignedAdv {
 		t.Fatalf("verifier not enforced: ok=%v err=%s", ok, errTok)
+	}
+}
+
+func TestPublishParsesExactlyOnce(t *testing.T) {
+	// The publish path's contract: one advert.Parse per accepted
+	// advertisement, whether the parse happens in the acceptance policy
+	// (verifier installed) or in the broker (no verifier).
+	cases := []struct {
+		name     string
+		verifier AdvVerifier
+	}{
+		{"no-verifier", nil},
+		{"parsing-verifier", func(doc *xmldoc.Element) (advert.Advertisement, error) {
+			return advert.Parse(doc)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b, net := newBroker(t)
+			if tc.verifier != nil {
+				b.SetAdvVerifier(tc.verifier)
+			}
+			c := newCaller(t, net, b, "urn:jxta:c1")
+			c.login("alice")
+			pres := &advert.Presence{PeerID: "urn:jxta:c1", Name: "alice", Group: "g1", Status: advert.StatusOnline, Seen: time.Now()}
+			doc, _ := pres.Document()
+			raw := string(doc.Canonical())
+			before := advert.ParseCalls()
+			resp := c.op(proto.OpPublishAdv, proto.ElemAdv, raw)
+			if ok, errTok := proto.IsOK(resp); !ok {
+				t.Fatalf("publish failed: %s", errTok)
+			}
+			if got := advert.ParseCalls() - before; got != 1 {
+				t.Fatalf("publish ran advert.Parse %d times, want exactly 1", got)
+			}
+		})
 	}
 }
 

@@ -136,17 +136,14 @@ func (b *Broker) handleFedAdv(from keys.PeerID, msg *endpoint.Message) *endpoint
 	if err != nil {
 		return nil
 	}
-	b.mu.RLock()
-	verifier := b.advVerifier
-	b.mu.RUnlock()
-	if verifier != nil {
-		if err := verifier(doc); err != nil {
-			return nil
-		}
+	// Same single-parse discipline as handlePublishAdv: the verifier's
+	// parsed advertisement is reused for the cache and propagation.
+	adv, errTok := b.verifyAndParse(doc)
+	if errTok != "" {
+		return nil
 	}
 	src, _ := msg.GetString(proto.ElemPeer)
-	adv, err := b.ctl.Cache().Put(doc)
-	if err != nil {
+	if err := b.ctl.Cache().PutParsed(doc, adv); err != nil {
 		return nil
 	}
 	// Propagate to local members only; never re-forward (loop guard).

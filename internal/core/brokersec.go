@@ -250,13 +250,22 @@ func (bs *BrokerSecurity) handleSecureLogin(from keys.PeerID, msg *endpoint.Mess
 // XMLdsig validity, a trusted credential chain, CBID binding, and
 // ownership (the signer must be the peer the advertisement describes).
 // Verdicts ride the broker's verification cache, so a re-published or
-// federation-forwarded advertisement costs a digest lookup.
-func (bs *BrokerSecurity) verifyAdv(doc *xmldoc.Element) error {
+// federation-forwarded advertisement costs a digest lookup. The parsed
+// advertisement — needed for the ownership check anyway — is returned
+// to the broker, which makes this the publish path's only parse.
+func (bs *BrokerSecurity) verifyAdv(doc *xmldoc.Element) (advert.Advertisement, error) {
 	res, err := bs.vcache.VerifyTrusted(doc, bs.now())
 	if err != nil {
-		return err
+		return nil, err
 	}
-	return CheckAdvOwnership(doc, res.Signer.Subject)
+	adv, err := advert.Parse(doc)
+	if err != nil {
+		return nil, err
+	}
+	if err := CheckParsedAdvOwnership(adv, res.Signer.Subject); err != nil {
+		return nil, err
+	}
+	return adv, nil
 }
 
 // VerifyCache exposes the broker's advertisement verification cache for
@@ -271,6 +280,13 @@ func CheckAdvOwnership(doc *xmldoc.Element, signer keys.PeerID) error {
 	if err != nil {
 		return err
 	}
+	return CheckParsedAdvOwnership(adv, signer)
+}
+
+// CheckParsedAdvOwnership is CheckAdvOwnership for callers that already
+// hold the parsed advertisement (the broker's single-parse publish
+// path).
+func CheckParsedAdvOwnership(adv advert.Advertisement, signer keys.PeerID) error {
 	owner := advOwner(adv)
 	if owner != "" && owner != signer {
 		return errors.New("core: advertisement owner does not match signer")

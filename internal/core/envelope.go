@@ -27,6 +27,11 @@ const (
 	ModeSign Mode = 'S'
 	// ModeEncrypt sends E_PK(m): privacy only, no authentication.
 	ModeEncrypt Mode = 'E'
+	// ModeGroup is the fan-out round format: one signed round header
+	// (timestamp + nonce + recipient-set binding) shared by every
+	// recipient, with only the per-recipient key wrap differing. See
+	// SealGroup/OpenGroup in round.go.
+	ModeGroup Mode = 'G'
 )
 
 func (m Mode) String() string {
@@ -37,6 +42,8 @@ func (m Mode) String() string {
 		return "sign-only"
 	case ModeEncrypt:
 		return "encrypt-only"
+	case ModeGroup:
+		return "group-round"
 	default:
 		return fmt.Sprintf("mode(%c)", byte(m))
 	}
@@ -92,7 +99,7 @@ func packBlock(header *xmldoc.Element, body []byte) []byte {
 	return out
 }
 
-func unpackBlock(block []byte) (*xmldoc.Element, []byte, error) {
+func unpackBlock(block []byte, name string) (*xmldoc.Element, []byte, error) {
 	if len(block) < 4 {
 		return nil, nil, ErrEnvelope
 	}
@@ -101,7 +108,7 @@ func unpackBlock(block []byte) (*xmldoc.Element, []byte, error) {
 		return nil, nil, ErrEnvelope
 	}
 	header, err := xmldoc.ParseBytes(block[4 : 4+hlen])
-	if err != nil || header.Name != "SecureMessage" {
+	if err != nil || header.Name != name {
 		return nil, nil, ErrEnvelope
 	}
 	return header, block[4+hlen:], nil
@@ -150,9 +157,25 @@ type Opened struct {
 	Group  string
 	Body   []byte
 	SentAt time.Time
+	// Nonce is the single-use round nonce (ModeGroup only, nil
+	// otherwise). Receivers feed it to ReplayGuard.CheckRound.
+	Nonce []byte
 
-	sigDoc []byte // canonical signed header bytes
-	sig    []byte // detached signature, nil for ModeEncrypt
+	sigDoc   []byte          // canonical signed header bytes
+	sig      []byte          // detached signature, nil for ModeEncrypt
+	headerEl *xmldoc.Element // parsed header incl. signature (ModeGroup)
+}
+
+// HeaderXML returns the full canonical header bytes, signature included
+// (ModeGroup only, nil otherwise). It exists for diagnostics and for the
+// attack suite, which uses it to act as a malicious round recipient
+// splicing a validly signed header into forged wires. Serialization is
+// deferred to this call so the production receive path never pays it.
+func (o *Opened) HeaderXML() []byte {
+	if o.headerEl == nil {
+		return nil
+	}
+	return o.headerEl.Canonical()
 }
 
 // Open decrypts and parses a secure envelope addressed to own. The body
@@ -166,6 +189,13 @@ func Open(own *keys.KeyPair, wire []byte) (*Opened, error) {
 	payload := wire[1:]
 	var block []byte
 	switch mode {
+	case ModeGroup:
+		// Round envelopes carry extra semantics (single-use nonce,
+		// recipient-set binding) that only make sense on surfaces that
+		// track round replays. Callers must opt in via OpenGroup with a
+		// guard; surfaces that never expect rounds (e.g. the secure task
+		// service, which is strictly point-to-point) reject them here.
+		return nil, fmt.Errorf("%w: group round requires OpenGroup", ErrEnvelope)
 	case ModeSign:
 		block = payload
 	case ModeFull, ModeEncrypt:
@@ -183,7 +213,7 @@ func Open(own *keys.KeyPair, wire []byte) (*Opened, error) {
 	default:
 		return nil, fmt.Errorf("%w: mode %q", ErrEnvelope, byte(mode))
 	}
-	header, body, err := unpackBlock(block)
+	header, body, err := unpackBlock(block, "SecureMessage")
 	if err != nil {
 		return nil, err
 	}

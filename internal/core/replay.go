@@ -60,13 +60,26 @@ func (g *ReplayGuard) SetClock(now func() time.Time) {
 // decryption or signature checks); sentAt is the signed timestamp from
 // the opened envelope.
 func (g *ReplayGuard) Check(wire []byte, sentAt time.Time) error {
+	return g.admit(hex.EncodeToString(keys.SHA256(wire)), sentAt)
+}
+
+// CheckRound admits a group round nonce exactly once per sender within
+// the freshness window. Round wires are identical for every recipient,
+// so the wire digest alone cannot tell a fresh round from a malicious
+// round member re-encrypting the same signed header to the same
+// recipient set — the signed nonce can: it is single-use, and any reuse
+// across rounds is a replay.
+func (g *ReplayGuard) CheckRound(sender keys.PeerID, nonce []byte, sentAt time.Time) error {
+	return g.admit("round\x00"+string(sender)+"\x00"+hex.EncodeToString(nonce), sentAt)
+}
+
+func (g *ReplayGuard) admit(key string, sentAt time.Time) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	now := g.clock()
 	if d := now.Sub(sentAt); d > g.window || d < -g.window {
 		return ErrMessageStale
 	}
-	key := hex.EncodeToString(keys.SHA256(wire))
 	if _, dup := g.seen[key]; dup {
 		return ErrMessageReplayed
 	}

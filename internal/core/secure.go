@@ -16,6 +16,7 @@ import (
 	"jxtaoverlay/internal/events"
 	"jxtaoverlay/internal/keys"
 	"jxtaoverlay/internal/membership"
+	"jxtaoverlay/internal/parallel"
 	"jxtaoverlay/internal/pipes"
 	"jxtaoverlay/internal/proto"
 	"jxtaoverlay/internal/xdsig"
@@ -308,11 +309,13 @@ func (s *SecureClient) SecureMsgPeer(ctx context.Context, peer keys.PeerID, grou
 	return s.Control().SendOnPipe(pipeAdv, msg)
 }
 
-// SecureMsgPeerGroup fans SecureMsgPeer out over the group's online
-// members, exactly as the standard primitive does (§4.3.1). Recipients
-// are processed in parallel: each one costs an advertisement
-// verification (cached after the first encounter) plus an RSA-OAEP
-// encryption, so the fan-out is CPU-bound and scales with cores. The
+// SecureMsgPeerGroup fans a secure message out over the group's online
+// members (§4.3.1). In ModeFull it uses the group round format: every
+// recipient's signed pipe advertisement is verified in parallel (cached
+// after the first encounter), then SealGroup signs ONE round header and
+// wraps the content key to each recipient — a 100-member round costs one
+// RSA signature instead of one hundred, and every member receives the
+// same wire bytes. Degraded modes keep the per-recipient path. The
 // returned count and first error match the sequential iteration order.
 func (s *SecureClient) SecureMsgPeerGroup(ctx context.Context, group, text string) (int, error) {
 	members, err := s.GetOnlinePeers(ctx, group)
@@ -325,19 +328,72 @@ func (s *SecureClient) SecureMsgPeerGroup(ctx context.Context, group, text strin
 			targets = append(targets, m)
 		}
 	}
-	errs := make([]error, len(targets))
-	sem := make(chan struct{}, fanOutParallelism())
-	var wg sync.WaitGroup
-	for i, m := range targets {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, id keys.PeerID) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			errs[i] = s.SecureMsgPeer(ctx, id, group, text)
-		}(i, m.ID)
+	if s.mode != ModeFull || len(targets) == 0 {
+		return s.fanOutPerRecipient(ctx, group, text, targets)
 	}
-	wg.Wait()
+
+	// Resolve and verify every recipient's certified key in parallel
+	// (steps 1-3 of §4.3.1, once per member, verification cached).
+	type recipient struct {
+		key     *keys.PublicKey
+		pipeAdv *advert.Pipe
+	}
+	recipients := make([]recipient, len(targets))
+	errs := make([]error, len(targets))
+	parallel.ForEach(fanOutParallelism(), len(targets), func(i int) {
+		key, pipeAdv, err := s.verifiedPeerKey(ctx, targets[i].ID, group)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		recipients[i] = recipient{key: key, pipeAdv: pipeAdv}
+	})
+
+	verified := make([]int, 0, len(recipients))
+	for i, r := range recipients {
+		if r.key != nil {
+			verified = append(verified, i)
+		}
+	}
+	// One signature per round; only the key wraps differ. Groups larger
+	// than the wire format's recipient cap are split into consecutive
+	// rounds, so arbitrarily large groups still deliver (at one
+	// signature per maxRoundRecipients members).
+	for start := 0; start < len(verified); start += maxRoundRecipients {
+		chunk := verified[start:min(start+maxRoundRecipients, len(verified))]
+		keyList := make([]*keys.PublicKey, len(chunk))
+		for j, i := range chunk {
+			keyList[j] = recipients[i].key
+		}
+		sealed, err := SealGroup(s.kp, s.PeerID(), group, []byte(text), keyList)
+		if err != nil {
+			for _, i := range chunk {
+				errs[i] = err
+			}
+			continue
+		}
+		msg := endpoint.NewMessage().
+			Add(proto.ElemEnvelope, sealed.Bytes()).
+			AddString(proto.ElemGroup, group)
+		parallel.ForEach(fanOutParallelism(), len(chunk), func(j int) {
+			i := chunk[j]
+			errs[i] = s.Control().SendOnPipe(recipients[i].pipeAdv, msg)
+		})
+	}
+	return tallyFanOut(errs)
+}
+
+// fanOutPerRecipient is the pre-round fan-out: one Seal (and in signed
+// modes, one signature) per recipient.
+func (s *SecureClient) fanOutPerRecipient(ctx context.Context, group, text string, targets []client.PeerSummary) (int, error) {
+	errs := make([]error, len(targets))
+	parallel.ForEach(fanOutParallelism(), len(targets), func(i int) {
+		errs[i] = s.SecureMsgPeer(ctx, targets[i].ID, group, text)
+	})
+	return tallyFanOut(errs)
+}
+
+func tallyFanOut(errs []error) (int, error) {
 	sent := 0
 	var firstErr error
 	for _, err := range errs {
@@ -376,7 +432,9 @@ func (s *SecureClient) verifiedPeerKey(ctx context.Context, peer keys.PeerID, gr
 		}})
 		return nil, nil, fmt.Errorf("%w: %v", ErrPeerAdvInvalid, err)
 	}
-	if err := CheckAdvOwnership(rawDoc, res.Signer.Subject); err != nil || res.Signer.Subject != peer {
+	// LookupPipe already parsed the advertisement; the ownership check
+	// reuses that parse (the same single-parse discipline as the broker).
+	if err := CheckParsedAdvOwnership(pipeAdv, res.Signer.Subject); err != nil || res.Signer.Subject != peer {
 		s.Bus().Emit(events.Event{Type: events.SecurityAlert, From: peer, Group: group, Payload: map[string]string{
 			"reason": "pipe advertisement signer does not own the advertisement",
 		}})
@@ -393,7 +451,15 @@ func (s *SecureClient) handleEnvelope(group string, d pipes.Delivery) bool {
 	if !ok {
 		return false
 	}
-	opened, err := Open(s.kp, wire)
+	var opened *Opened
+	var err error
+	if len(wire) > 0 && Mode(wire[0]) == ModeGroup {
+		// Group rounds are only accepted on this messaging surface, which
+		// tracks round nonces below; Open rejects them everywhere else.
+		opened, err = OpenGroup(s.kp, wire, nil)
+	} else {
+		opened, err = Open(s.kp, wire)
+	}
 	if err != nil {
 		s.Bus().Emit(events.Event{Type: events.SecurityAlert, From: d.From, Group: group, Payload: map[string]string{
 			"reason": "secure envelope rejected: " + err.Error(),
@@ -401,7 +467,14 @@ func (s *SecureClient) handleEnvelope(group string, d pipes.Delivery) bool {
 		return true
 	}
 	if s.replayGuard != nil {
-		if err := s.replayGuard.Check(wire, opened.SentAt); err != nil {
+		err := s.replayGuard.Check(wire, opened.SentAt)
+		if err == nil && opened.Mode == ModeGroup {
+			// Round wires are identical across recipients, so a replay can
+			// arrive as different bytes (re-encrypted by a malicious round
+			// member); the signed single-use nonce catches that.
+			err = s.replayGuard.CheckRound(opened.Sender, opened.Nonce, opened.SentAt)
+		}
+		if err != nil {
 			s.Bus().Emit(events.Event{Type: events.SecurityAlert, From: opened.Sender, Group: group, Payload: map[string]string{
 				"reason": err.Error(),
 			}})

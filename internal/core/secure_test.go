@@ -1,11 +1,11 @@
 package core_test
 
 import (
-	"bytes"
 	"context"
 	"testing"
 	"time"
 
+	"jxtaoverlay/internal/attack"
 	"jxtaoverlay/internal/broker"
 	"jxtaoverlay/internal/client"
 	"jxtaoverlay/internal/core"
@@ -316,11 +316,12 @@ func TestPlainLoginRejectedWhenSecureRequired(t *testing.T) {
 
 func TestSecureLoginPasswordNeverInClear(t *testing.T) {
 	h := newSecureHarness(t, true)
-	var wire []byte
-	h.net.AddTap(func(p simnet.Packet) { wire = append(wire, p.Payload...) })
+	// The eavesdropper's capture is mutex-guarded: taps fire from
+	// network goroutines concurrently with the test's assertions.
+	eve := attack.NewEavesdropper(h.net)
 	sc := h.secureClient("alice")
 	h.join(sc, "pw-alice")
-	if bytes.Contains(wire, []byte("pw-alice")) {
+	if eve.SawString("pw-alice") {
 		t.Fatal("password appeared in clear on the wire during secureLogin")
 	}
 }
@@ -381,14 +382,13 @@ func TestSecureMsgPeerConfidentialOnWire(t *testing.T) {
 	h.join(alice, "pw-alice")
 	h.join(bob, "pw-bob")
 
-	var wire []byte
-	h.net.AddTap(func(p simnet.Packet) { wire = append(wire, p.Payload...) })
+	eve := attack.NewEavesdropper(h.net)
 	ctx := testCtx(t)
 	secret := "eyes-only-payload-marker"
 	if err := alice.SecureMsgPeer(ctx, bob.PeerID(), "math", secret); err != nil {
 		t.Fatal(err)
 	}
-	if bytes.Contains(wire, []byte(secret)) {
+	if eve.SawString(secret) {
 		t.Fatal("secure message payload visible on the wire")
 	}
 }

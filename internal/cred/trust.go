@@ -1,6 +1,7 @@
 package cred
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync"
 	"time"
@@ -14,6 +15,11 @@ import (
 // cover a broker re-validating the credential chains of thousands of
 // active peers.
 const verifyCacheSize = 4096
+
+// chainCacheSize bounds the per-store cache of whole-chain verdicts.
+// One entry per distinct signer chain; a deployment has one chain per
+// client credential, so 1024 covers about a thousand active signers.
+const chainCacheSize = 1024
 
 // TrustStore verifies credentials and credential chains against a set of
 // anchors. Every JXTA-Overlay peer is provisioned with the
@@ -35,6 +41,26 @@ type TrustStore struct {
 	// an expired credential is rejected even when cached. Failed checks
 	// are never cached.
 	sigCache *lru.Cache[string, struct{}]
+
+	// chainCache remembers successful whole-chain verdicts across
+	// *documents*: two different advertisements signed by the same peer
+	// embed byte-identical credential chains, but each arrives as a
+	// freshly parsed Credential whose canonical body would have to be
+	// rebuilt to hit sigCache. The chain key is an injective encoding of
+	// every security-relevant field of every link (identity fields, key
+	// fingerprints, validity window, signature bytes) plus the resolved
+	// root issuer's key fingerprint — equivalent to keying on the body
+	// digests without paying canonicalization. Entries carry the chain's
+	// validity window (latest NotBefore checked on every hit, earliest
+	// NotAfter as the LRU expiry), so expiry is honored exactly as on
+	// the uncached path; failures are never cached.
+	chainCache *lru.Cache[string, *chainVerdict]
+}
+
+type chainVerdict struct {
+	// notBefore is the latest NotBefore across the chain; the entry's
+	// LRU expiry holds the earliest NotAfter.
+	notBefore time.Time
 }
 
 // NewTrustStore creates a store trusting the given anchor credentials.
@@ -42,9 +68,10 @@ type TrustStore struct {
 // are rejected.
 func NewTrustStore(anchors ...*Credential) (*TrustStore, error) {
 	ts := &TrustStore{
-		anchors:  make(map[keys.PeerID]*Credential),
-		issuers:  make(map[keys.PeerID]*Credential),
-		sigCache: lru.New[string, struct{}](verifyCacheSize),
+		anchors:    make(map[keys.PeerID]*Credential),
+		issuers:    make(map[keys.PeerID]*Credential),
+		sigCache:   lru.New[string, struct{}](verifyCacheSize),
+		chainCache: lru.New[string, *chainVerdict](chainCacheSize),
 	}
 	for _, a := range anchors {
 		if a.Subject != a.Issuer {
@@ -132,9 +159,23 @@ func (t *TrustStore) verifyCached(c *Credential, issuerKey *keys.PublicKey, now 
 // signed by chain[1]'s subject, and so on, with the last element's
 // issuer being a trust anchor. Every link's validity window is enforced.
 // On success the intermediates are cached as issuers.
+//
+// Verdicts are memoized across documents (see chainCache): verifying a
+// second advertisement by an already-known signer skips the per-link
+// RSA and canonicalization work entirely, leaving the document's own
+// leaf signature as cold verification's only RSA operation.
 func (t *TrustStore) VerifyChain(now time.Time, chain ...*Credential) error {
 	if len(chain) == 0 {
 		return fmt.Errorf("cred: empty chain")
+	}
+	key := t.chainKey(chain)
+	if key != "" {
+		// A hit outside the validity window falls through to the slow
+		// path, which produces the precise per-link error.
+		if v, hit := t.chainCache.Get(key, now); hit && !now.Before(v.notBefore) {
+			t.rememberIssuers(chain)
+			return nil
+		}
 	}
 	for i, c := range chain {
 		if i+1 < len(chain) {
@@ -152,12 +193,90 @@ func (t *TrustStore) VerifyChain(now time.Time, chain ...*Credential) error {
 			return fmt.Errorf("cred: chain root: %w", err)
 		}
 	}
+	t.rememberIssuers(chain)
+	if key != "" {
+		nb, na := ChainWindow(chain)
+		t.chainCache.Put(key, &chainVerdict{notBefore: nb}, na)
+	}
+	return nil
+}
+
+// rememberIssuers records the chain's intermediates as trusted issuers.
+func (t *TrustStore) rememberIssuers(chain []*Credential) {
+	if len(chain) < 2 {
+		return
+	}
 	t.mu.Lock()
 	for _, c := range chain[1:] {
 		t.issuers[c.Subject] = c
 	}
 	t.mu.Unlock()
-	return nil
+}
+
+// ChainWindow returns a chain's combined validity window: the latest
+// NotBefore and the earliest NotAfter across all links. Every cache of
+// chain-derived verdicts (the store's own chain cache, xdsig's
+// document verification cache) must bound entry lifetime by exactly
+// this window.
+func ChainWindow(chain []*Credential) (notBefore, notAfter time.Time) {
+	for _, c := range chain {
+		if c.NotBefore.After(notBefore) {
+			notBefore = c.NotBefore
+		}
+		if notAfter.IsZero() || c.NotAfter.Before(notAfter) {
+			notAfter = c.NotAfter
+		}
+	}
+	return notBefore, notAfter
+}
+
+// chainKey builds the chain-verdict cache key: for every link, a
+// length-prefixed (hence injective) encoding of each field the verdict
+// vouches for — identity fields, subject key fingerprint, validity
+// window and signature bytes — plus the fingerprint of the resolved
+// root issuer key the last link was verified under. The encoding covers
+// exactly the fields the canonical signing body covers, so it is
+// equivalent to keying on the body digests without rebuilding and
+// canonicalizing a document tree per link. Returns "" when a key cannot
+// be built (e.g. the root issuer is unknown); callers then take the
+// slow path, which reports the precise error.
+func (t *TrustStore) chainKey(chain []*Credential) string {
+	rootKey, ok := t.IssuerKey(chain[len(chain)-1].Issuer)
+	if !ok {
+		return ""
+	}
+	rootFP, err := rootKey.Fingerprint()
+	if err != nil {
+		return ""
+	}
+	buf := make([]byte, 0, 64+len(chain)*224)
+	buf = append(buf, rootFP[:]...)
+	for _, c := range chain {
+		if c.Key == nil {
+			return ""
+		}
+		fp, err := c.Key.Fingerprint()
+		if err != nil {
+			return ""
+		}
+		for _, field := range [][]byte{
+			[]byte(c.Subject), []byte(c.SubjectName), []byte(c.Role),
+			[]byte(c.Issuer), fp[:],
+			binary.BigEndian.AppendUint64(nil, uint64(c.NotBefore.UnixNano())),
+			binary.BigEndian.AppendUint64(nil, uint64(c.NotAfter.UnixNano())),
+			c.Signature,
+		} {
+			buf = binary.BigEndian.AppendUint32(buf, uint32(len(field)))
+			buf = append(buf, field...)
+		}
+	}
+	return string(buf)
+}
+
+// ChainCacheStats reports cumulative chain-verdict cache hits and
+// misses.
+func (t *TrustStore) ChainCacheStats() (hits, misses uint64) {
+	return t.chainCache.Stats()
 }
 
 // Anchors returns the anchor credentials (for diagnostics).

@@ -73,12 +73,66 @@ func TestTrustStoreChainUsesCache(t *testing.T) {
 	if err := ts.VerifyChain(now, cl, br); err != nil {
 		t.Fatalf("warm chain: %v", err)
 	}
-	hits, _ := ts.sigCache.Stats()
+	hits, _ := ts.chainCache.Stats()
 	if hits == 0 {
-		t.Fatal("repeat chain verification never hit the signature cache")
+		t.Fatal("repeat chain verification never hit the chain-verdict cache")
 	}
 	// Chain verification after leaf expiry must fail even when cached.
 	if err := ts.VerifyChain(cl.NotAfter.Add(time.Minute), cl, br); err == nil {
 		t.Fatal("chain with expired leaf accepted after caching")
+	}
+}
+
+func TestTrustStoreChainCacheCrossDocument(t *testing.T) {
+	// Two different documents signed by the same peer carry freshly
+	// parsed — distinct but byte-identical — credential chains. The
+	// chain verdict must carry across those instances without any new
+	// RSA work.
+	adm, br, cl := setup(t)
+	ts, err := NewTrustStore(adm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	if err := ts.VerifyChain(now, cl, br); err != nil {
+		t.Fatalf("cold chain: %v", err)
+	}
+	sigHits0, sigMiss0 := ts.sigCache.Stats()
+	// Clones simulate a re-parse: same fields, no shared memo state.
+	if err := ts.VerifyChain(now, cl.Clone(), br.Clone()); err != nil {
+		t.Fatalf("cloned chain: %v", err)
+	}
+	if hits, _ := ts.chainCache.Stats(); hits == 0 {
+		t.Fatal("cloned chain missed the chain-verdict cache")
+	}
+	sigHits1, sigMiss1 := ts.sigCache.Stats()
+	if sigHits1 != sigHits0 || sigMiss1 != sigMiss0 {
+		t.Fatal("chain-cache hit still consulted the per-link signature cache")
+	}
+}
+
+func TestTrustStoreChainCacheKeyedBySignature(t *testing.T) {
+	adm, br, cl := setup(t)
+	ts, err := NewTrustStore(adm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	if err := ts.VerifyChain(now, cl, br); err != nil {
+		t.Fatal(err)
+	}
+	// A same-body leaf carrying a forged signature must not ride the
+	// cached chain verdict.
+	forged := cl.Clone()
+	forged.Signature[0] ^= 0xff
+	if err := ts.VerifyChain(now, forged, br); err == nil {
+		t.Fatal("forged-signature chain accepted after caching")
+	}
+	// Nor may a leaf whose validity window was stretched (different
+	// body, original signature).
+	stretched := cl.Clone()
+	stretched.NotAfter = stretched.NotAfter.Add(24 * time.Hour)
+	if err := ts.VerifyChain(now, stretched, br); err == nil {
+		t.Fatal("window-stretched chain accepted after caching")
 	}
 }

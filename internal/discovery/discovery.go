@@ -62,6 +62,13 @@ func (c *Cache) Put(doc *xmldoc.Element) (advert.Advertisement, error) {
 	if err != nil {
 		return nil, err
 	}
+	return adv, c.PutParsed(doc, adv)
+}
+
+// PutParsed stores a document whose parsed form the caller already has
+// (the broker publish path parses exactly once — in its acceptance
+// policy — and hands both forms here). adv must be the parse of doc.
+func (c *Cache) PutParsed(doc *xmldoc.Element, adv advert.Advertisement) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.recs[cacheKey{adv.AdvType(), adv.AdvID()}] = &Record{
@@ -69,7 +76,7 @@ func (c *Cache) Put(doc *xmldoc.Element) (advert.Advertisement, error) {
 		Adv:      adv,
 		Received: c.now(),
 	}
-	return adv, nil
+	return nil
 }
 
 // PutAdv serializes and stores an advertisement (unsigned path).

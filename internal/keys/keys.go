@@ -55,6 +55,10 @@ type KeyPair struct {
 	// pub memoizes Public so every caller shares one PublicKey wrapper
 	// (and with it the wrapper's fingerprint memo).
 	pub atomic.Pointer[PublicKey]
+	// sigCalls counts Sign invocations. Signatures are the dominant
+	// cost of the secure primitives, so tests and benchmarks assert on
+	// this counter (e.g. "one header signature per fan-out round").
+	sigCalls atomic.Uint64
 }
 
 // NewKeyPair generates a key pair of DefaultRSABits using crypto/rand.
@@ -102,6 +106,7 @@ func (k *KeyPair) Bits() int { return k.priv.N.BitLen() }
 
 // Sign produces a detached RSASSA-PKCS1-v1_5/SHA-256 signature over msg.
 func (k *KeyPair) Sign(msg []byte) ([]byte, error) {
+	k.sigCalls.Add(1)
 	digest := sha256.Sum256(msg)
 	sig, err := rsa.SignPKCS1v15(rand.Reader, k.priv, crypto.SHA256, digest[:])
 	if err != nil {
@@ -110,31 +115,31 @@ func (k *KeyPair) Sign(msg []byte) ([]byte, error) {
 	return sig, nil
 }
 
+// SignCalls reports how many times Sign has been invoked on this key
+// pair. Benchmarks and tests use it to assert signature amortization
+// (e.g. a group fan-out round must cost exactly one signature).
+func (k *KeyPair) SignCalls() uint64 { return k.sigCalls.Load() }
+
 // Decrypt opens an envelope produced by PublicKey.Encrypt for this key.
 func (k *KeyPair) Decrypt(env *Envelope) ([]byte, error) {
 	if env == nil {
 		return nil, ErrDecrypt
 	}
-	cek, err := rsa.DecryptOAEP(sha256.New(), rand.Reader, k.priv, env.WrappedKey, oaepLabel)
+	cek, err := k.UnwrapKey(env.WrappedKey)
 	if err != nil {
 		return nil, ErrDecrypt
 	}
-	block, err := aes.NewCipher(cek)
+	return AEADOpen(cek, env.Nonce, env.Ciphertext)
+}
+
+// UnwrapKey recovers a content key wrapped with PublicKey.WrapKey for
+// this key pair.
+func (k *KeyPair) UnwrapKey(wrapped []byte) ([]byte, error) {
+	cek, err := rsa.DecryptOAEP(sha256.New(), rand.Reader, k.priv, wrapped, oaepLabel)
 	if err != nil {
 		return nil, ErrDecrypt
 	}
-	gcm, err := cipher.NewGCM(block)
-	if err != nil {
-		return nil, ErrDecrypt
-	}
-	if len(env.Nonce) != gcm.NonceSize() {
-		return nil, ErrDecrypt
-	}
-	plain, err := gcm.Open(nil, env.Nonce, env.Ciphertext, nil)
-	if err != nil {
-		return nil, ErrDecrypt
-	}
-	return plain, nil
+	return cek, nil
 }
 
 // MarshalPEM serializes the private key as PKCS#8 PEM, for keystore
@@ -199,14 +204,73 @@ type Envelope struct {
 // fresh AES-256 content key wrapped under RSA-OAEP (the paper's
 // E_PKi(x) wrapped key encryption scheme).
 func (p *PublicKey) Encrypt(plain []byte) (*Envelope, error) {
-	cek := make([]byte, 32)
-	if _, err := rand.Read(cek); err != nil {
-		return nil, fmt.Errorf("keys: cek: %w", err)
+	cek, err := NewContentKey()
+	if err != nil {
+		return nil, err
 	}
+	wrapped, err := p.WrapKey(cek)
+	if err != nil {
+		return nil, err
+	}
+	nonce, ct, err := AEADSeal(cek, plain)
+	if err != nil {
+		return nil, err
+	}
+	return &Envelope{WrappedKey: wrapped, Nonce: nonce, Ciphertext: ct}, nil
+}
+
+// WrapKey encrypts a content key to this public key under RSA-OAEP. The
+// wrap is the only per-recipient asymmetric operation of a group fan-out
+// round: one public-key exponentiation, orders of magnitude cheaper than
+// a private-key signature.
+func (p *PublicKey) WrapKey(cek []byte) ([]byte, error) {
 	wrapped, err := rsa.EncryptOAEP(sha256.New(), rand.Reader, p.pub, cek, oaepLabel)
 	if err != nil {
 		return nil, fmt.Errorf("keys: wrap: %w", err)
 	}
+	return wrapped, nil
+}
+
+// NewContentKey returns a fresh AES-256 content key.
+func NewContentKey() ([]byte, error) {
+	cek := make([]byte, 32)
+	if _, err := rand.Read(cek); err != nil {
+		return nil, fmt.Errorf("keys: cek: %w", err)
+	}
+	return cek, nil
+}
+
+// AEADSeal encrypts plain under the content key with AES-GCM and a
+// fresh random nonce, returning nonce and ciphertext.
+func AEADSeal(cek, plain []byte) (nonce, ciphertext []byte, err error) {
+	gcm, err := newGCM(cek)
+	if err != nil {
+		return nil, nil, err
+	}
+	nonce = make([]byte, gcm.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, nil, fmt.Errorf("keys: nonce: %w", err)
+	}
+	return nonce, gcm.Seal(nil, nonce, plain, nil), nil
+}
+
+// AEADOpen reverses AEADSeal.
+func AEADOpen(cek, nonce, ciphertext []byte) ([]byte, error) {
+	gcm, err := newGCM(cek)
+	if err != nil {
+		return nil, ErrDecrypt
+	}
+	if len(nonce) != gcm.NonceSize() {
+		return nil, ErrDecrypt
+	}
+	plain, err := gcm.Open(nil, nonce, ciphertext, nil)
+	if err != nil {
+		return nil, ErrDecrypt
+	}
+	return plain, nil
+}
+
+func newGCM(cek []byte) (cipher.AEAD, error) {
 	block, err := aes.NewCipher(cek)
 	if err != nil {
 		return nil, fmt.Errorf("keys: cipher: %w", err)
@@ -215,15 +279,7 @@ func (p *PublicKey) Encrypt(plain []byte) (*Envelope, error) {
 	if err != nil {
 		return nil, fmt.Errorf("keys: gcm: %w", err)
 	}
-	nonce := make([]byte, gcm.NonceSize())
-	if _, err := rand.Read(nonce); err != nil {
-		return nil, fmt.Errorf("keys: nonce: %w", err)
-	}
-	return &Envelope{
-		WrappedKey: wrapped,
-		Nonce:      nonce,
-		Ciphertext: gcm.Seal(nil, nonce, plain, nil),
-	}, nil
+	return gcm, nil
 }
 
 // Marshal flattens the envelope into a single self-describing byte

@@ -1,0 +1,34 @@
+// Package parallel provides the bounded fan-out primitive the hot paths
+// share: group message sealing and sending, recipient verification, and
+// broker advertisement propagation all run per-recipient work under a
+// concurrency cap. Centralizing the semaphore/WaitGroup scaffolding
+// keeps the cap semantics (and any future fix to them) in one place.
+package parallel
+
+import "sync"
+
+// ForEach invokes fn(i) for every i in [0, n), running at most limit
+// invocations concurrently, and returns when all have finished. A limit
+// below one is raised to one. Results and errors are the caller's to
+// collect (typically into a pre-sized slice indexed by i, which needs
+// no locking since every worker writes its own element).
+func ForEach(limit, n int, fn func(i int)) {
+	if limit < 1 {
+		limit = 1
+	}
+	if n <= 0 {
+		return
+	}
+	sem := make(chan struct{}, limit)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}

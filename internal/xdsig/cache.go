@@ -31,6 +31,12 @@ const DefaultVerifyCacheSize = 1024
 // the chain's latest NotBefore is ignored, so VerifyTrusted honors
 // credential expiry exactly as the uncached path does. A cache is bound
 // to one TrustStore and must not be shared across trust domains.
+//
+// VerifyCache is the outermost of three cache layers: a miss here (a
+// document this peer has not verified) still rides the TrustStore's
+// chain-verdict cache — so a *new* document by a *known* signer pays
+// one RSA operation, its own leaf signature — and, below that, the
+// per-link signature cache.
 type VerifyCache struct {
 	trust *cred.TrustStore
 	lru   *lru.Cache[string, *verifyEntry]
@@ -106,16 +112,7 @@ func (vc *VerifyCache) VerifyTrusted(doc *xmldoc.Element, now time.Time) (*Resul
 	if err != nil {
 		return nil, err
 	}
-	ent := &verifyEntry{res: res}
-	var notAfter time.Time
-	for _, c := range res.Chain {
-		if c.NotBefore.After(ent.notBefore) {
-			ent.notBefore = c.NotBefore
-		}
-		if notAfter.IsZero() || c.NotAfter.Before(notAfter) {
-			notAfter = c.NotAfter
-		}
-	}
-	vc.lru.Put(key, ent, notAfter)
+	notBefore, notAfter := cred.ChainWindow(res.Chain)
+	vc.lru.Put(key, &verifyEntry{res: res, notBefore: notBefore}, notAfter)
 	return res, nil
 }

@@ -130,6 +130,31 @@ func TestMutatorsInvalidate(t *testing.T) {
 	}
 }
 
+func TestAddReparentMovesChild(t *testing.T) {
+	// Re-parenting via Add must MOVE the element: the old tree loses the
+	// child (and its memo is invalidated), and later mutations of the
+	// child are reflected only in the new tree. Without move semantics
+	// the old tree would serve stale canonical bytes — fatal for signing
+	// input.
+	x := New("X", "old")
+	a := NewTree("A", x)
+	before := append([]byte(nil), a.Canonical()...)
+	b := New("B", "")
+	b.Add(x)
+	x.SetText("new")
+	if bytes.Equal(a.Canonical(), before) {
+		t.Fatal("old tree canonical unchanged after child moved away — stale memo")
+	}
+	if a.Child("X") != nil {
+		t.Fatal("old tree still holds the moved child")
+	}
+	if !bytes.Contains(b.Canonical(), []byte("new")) {
+		t.Fatal("new tree missing the child's updated text")
+	}
+	checkAgainstRef(t, a, "old tree after move")
+	checkAgainstRef(t, b, "new tree after move")
+}
+
 // TestPropertyCacheInvalidation applies random mutation sequences
 // through the mutator API, interleaved with Canonical calls that
 // populate memos at every level, and checks the canonical bytes against

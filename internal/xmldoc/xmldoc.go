@@ -74,14 +74,34 @@ func NewTree(name string, children ...*Element) *Element {
 	return e.Add(children...)
 }
 
-// Add appends children and returns the receiver for chaining.
+// Add appends children and returns the receiver for chaining. A child
+// that already belongs to another tree is MOVED: it is detached from
+// its old parent (whose memoized canonical bytes are invalidated), so
+// an element always has exactly one parent and every future mutation of
+// the child invalidates the one tree that actually contains it. Without
+// the detach, the old tree would keep serving stale canonical bytes —
+// fatal for signing input.
 func (e *Element) Add(children ...*Element) *Element {
 	for _, c := range children {
+		if c.parent != nil && c.parent != e {
+			c.parent.detach(c)
+		}
 		c.parent = e
 	}
 	e.Children = append(e.Children, children...)
 	e.invalidate()
 	return e
+}
+
+// detach removes c from e's children and invalidates e's chain.
+func (e *Element) detach(c *Element) {
+	for i, ch := range e.Children {
+		if ch == c {
+			e.Children = append(e.Children[:i], e.Children[i+1:]...)
+			break
+		}
+	}
+	e.invalidate()
 }
 
 // AddText appends a child element holding only text and returns the

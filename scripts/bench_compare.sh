@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# Benchmark regression gate: compare a benchmark snapshot against the
+# committed baseline and fail when a gated hot-path metric regresses by
+# more than BENCH_TOLERANCE percent (default 20).
+#
+# Usage:
+#   scripts/bench_compare.sh                      # run a fresh bench, compare
+#   scripts/bench_compare.sh BASE.json            # fresh bench vs BASE.json
+#   scripts/bench_compare.sh BASE.json CUR.json   # pure comparison, no run
+#
+# With no current file, the gated benchmarks are run via scripts/bench.sh
+# into a temp snapshot (not committed). The baseline defaults to the
+# highest-numbered BENCH_<n>.json in the repo root.
+#
+# Gated metrics — the fast paths this repo's PRs optimize:
+#   - BenchmarkVerifyTrusted/warm           ns/op (cache-hit verification)
+#   - BenchmarkFanOutSecure/recipients100   ns/op / 100 (per-recipient
+#     cost of a 100-member secure fan-out round)
+#
+# By default the thresholds compare absolute ns/op, which requires
+# baseline and current runs to come from the same machine class. Set
+# BENCH_NORMALIZE=1 (the CI bench-gate does) to divide every metric by
+# that snapshot's BenchmarkSignedAdvertisement/sign ns/op — one bare RSA
+# signature, a machine-speed canary untouched by the gated
+# optimizations — so a committed baseline survives runner hardware
+# churn while an injected slowdown of a gated path still fails.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tolerance="${BENCH_TOLERANCE:-20}"
+normalize="${BENCH_NORMALIZE:-0}"
+canary="BenchmarkSignedAdvertisement/sign"
+
+baseline="${1:-}"
+current="${2:-}"
+
+if [ -z "$baseline" ]; then
+    n=0
+    while [ -e "BENCH_${n}.json" ]; do n=$((n + 1)); done
+    if [ "$n" -eq 0 ]; then
+        echo "bench_compare: no committed BENCH_<n>.json baseline found" >&2
+        exit 2
+    fi
+    baseline="BENCH_$((n - 1)).json"
+fi
+[ -r "$baseline" ] || { echo "bench_compare: unreadable baseline $baseline" >&2; exit 2; }
+
+if [ -z "$current" ]; then
+    current=$(mktemp --suffix=.json)
+    trap 'rm -f "$current"' EXIT
+    echo "bench_compare: running gated benchmarks (baseline: $baseline)"
+    BENCH="${BENCH:-BenchmarkVerifyTrusted|BenchmarkFanOutSecure|BenchmarkSignedAdvertisement}" \
+        BENCHTIME="${BENCHTIME:-1s}" BENCH_OUT="$current" ./scripts/bench.sh >/dev/null
+fi
+[ -r "$current" ] || { echo "bench_compare: unreadable current $current" >&2; exit 2; }
+
+# ns_of FILE NAME — extract ns_per_op for one benchmark. Prefer jq (any
+# valid JSON); fall back to line-based extraction for bench.sh's
+# one-object-per-line layout when jq is unavailable.
+if command -v jq >/dev/null 2>&1; then
+    ns_of() {
+        jq -r --arg n "$2" \
+            '[.benchmarks[] | select(.name == $n) | .ns_per_op][0] // empty' "$1"
+    }
+else
+    ns_of() {
+        # `|| true` keeps a missing metric an *empty* result instead of
+        # letting grep's exit status abort the script under set -e; the
+        # callers report missing metrics themselves.
+        { grep -F "\"name\": \"$2\"" "$1" || true; } |
+            sed -n 's/.*"ns_per_op": \([0-9.e+-]*\).*/\1/p' | head -n 1
+    }
+fi
+
+fail=0
+baseNorm=1
+curNorm=1
+if [ "$normalize" = "1" ]; then
+    baseNorm=$(ns_of "$baseline" "$canary")
+    curNorm=$(ns_of "$current" "$canary")
+    if [ -z "$baseNorm" ] || [ -z "$curNorm" ]; then
+        echo "bench_compare: BENCH_NORMALIZE=1 but canary $canary missing from a snapshot" >&2
+        exit 2
+    fi
+    echo "bench_compare: normalizing by $canary (baseline ${baseNorm} ns, current ${curNorm} ns)"
+fi
+echo "bench_compare: $current vs $baseline (tolerance ${tolerance}%)"
+printf '%-42s %14s %14s %9s\n' "metric" "baseline" "current" "delta"
+
+# gate NAME DIVISOR LABEL — units are ns (or signature-equivalents
+# when normalizing)
+gate() {
+    local name="$1" div="$2" label="$3" base cur
+    base=$(ns_of "$baseline" "$name")
+    cur=$(ns_of "$current" "$name")
+    if [ -z "$base" ] || [ -z "$cur" ]; then
+        echo "bench_compare: metric $name missing from snapshot" >&2
+        fail=1
+        return
+    fi
+    awk -v base="$base" -v cur="$cur" -v div="$div" -v tol="$tolerance" -v label="$label" \
+        -v baseNorm="$baseNorm" -v curNorm="$curNorm" '
+    BEGIN {
+        base /= div * baseNorm; cur /= div * curNorm
+        delta = (cur - base) / base * 100
+        status = (delta > tol) ? "FAIL" : "ok"
+        printf "%-42s %14.4g %14.4g %+8.1f%% %s\n", label, base, cur, delta, status
+        exit (delta > tol) ? 1 : 0
+    }' || fail=1
+}
+
+gate "BenchmarkVerifyTrusted/warm" 1 "VerifyTrusted/warm"
+gate "BenchmarkFanOutSecure/recipients100" 100 "FanOutSecure per-recipient (N=100)"
+
+if [ "$fail" -ne 0 ]; then
+    echo "bench_compare: REGRESSION — a gated metric slowed >${tolerance}% vs $baseline" >&2
+    exit 1
+fi
+echo "bench_compare: within tolerance"
