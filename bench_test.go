@@ -7,6 +7,8 @@
 //	A2  BenchmarkEnvelopeMode                      — envelope mode ablation
 //	A3  BenchmarkMsgPeerGroupSecure                — group fan-out ablation
 //	A4  BenchmarkSignedAdvertisement               — signed-advertisement pipeline
+//	P4  BenchmarkRelayWireBytes                    — O(N²)→O(N) round wire bytes
+//	P5  BenchmarkRelayDelivery                     — relay slice+route+drain under churn
 //
 // The cmd/benchjoin and cmd/benchmsg binaries print the same experiments
 // as paper-style tables with modeled wire time; the benchmarks here
@@ -17,6 +19,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -26,6 +29,7 @@ import (
 	"jxtaoverlay/internal/events"
 	"jxtaoverlay/internal/keys"
 	"jxtaoverlay/internal/parallel"
+	"jxtaoverlay/internal/relay"
 	"jxtaoverlay/internal/xdsig"
 	"jxtaoverlay/internal/xmldoc"
 )
@@ -509,6 +513,7 @@ func BenchmarkFanOutSecure(b *testing.B) {
 		b.Run(fmt.Sprintf("recipients%d", n), func(b *testing.B) {
 			vc := xdsig.NewVerifyCache(trust, 256)
 			signsBefore := sender.SignCalls()
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				recipients := make([]*keys.PublicKey, len(docs))
 				parallel.ForEach(runtime.GOMAXPROCS(0), len(docs), func(j int) {
@@ -589,4 +594,119 @@ func BenchmarkSignedAdvertisement(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- P4/P5: broker relay — wire bytes and store-and-forward delivery ---
+//
+// The relay turns group fan-out from "send the full O(N)-wrap wire to
+// every member" (O(N²) bytes per round) into "upload once, deliver one
+// O(log N)-proof slice per member" (O(N) bytes per round). P4 measures
+// the byte economics (reported as custom metrics); P5 measures the
+// broker-side work under churn: re-slice the uploaded round, route 30%
+// of the slices through the offline queues, drain them on the presence
+// flush.
+
+func relayBenchRound(b *testing.B, n int) (*core.DetachedRound, []keys.PeerID) {
+	b.Helper()
+	sender, err := keys.NewKeyPair()
+	if err != nil {
+		b.Fatal(err)
+	}
+	senderID, err := keys.CBID(sender.Public())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pubs := make([]*keys.PublicKey, n)
+	ids := make([]keys.PeerID, n)
+	for i := 0; i < n; i++ {
+		kp, err := keys.NewKeyPair()
+		if err != nil {
+			b.Fatal(err)
+		}
+		pubs[i] = kp.Public()
+		if ids[i], err = keys.CBID(kp.Public()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	d, err := core.SealGroupDetached(sender, senderID, "bench", []byte(benchPayload(1024)), pubs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d, ids
+}
+
+func BenchmarkRelayWireBytes(b *testing.B) {
+	for _, n := range []int{1, 10, 100} {
+		b.Run(fmt.Sprintf("recipients%d", n), func(b *testing.B) {
+			d, _ := relayBenchRound(b, n)
+			upload := d.Wire()
+			var slices [][]byte
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// The relay's per-round byte surgery: parse the uploaded
+				// wire, cut every recipient's slice.
+				sliced, err := core.SliceRound(upload)
+				if err != nil {
+					b.Fatal(err)
+				}
+				slices = sliced.Slices()
+			}
+			b.StopTimer()
+			total := 0
+			for _, s := range slices {
+				total += len(s)
+			}
+			// Relayed cost: one upload + one slice per recipient.
+			b.ReportMetric(float64(len(upload)+total)/float64(n), "wireB/rcpt")
+			// Client-side fan-out cost: every member gets the full wire.
+			b.ReportMetric(float64(len(upload)), "fullwireB/rcpt")
+		})
+	}
+}
+
+func BenchmarkRelayDelivery(b *testing.B) {
+	for _, n := range []int{1, 10, 100} {
+		b.Run(fmt.Sprintf("recipients%d", n), func(b *testing.B) {
+			d, ids := relayBenchRound(b, n)
+			upload := d.Wire()
+			nOffline := n * 30 / 100
+			idx := make(map[keys.PeerID]int, n)
+			for i, id := range ids {
+				idx[id] = i
+			}
+			var churnedOnline atomic.Bool
+			var delivered atomic.Uint64
+			r := relay.New(relay.Config{Shards: 4, QueueCap: n + 1, TTL: time.Hour},
+				func(id keys.PeerID) bool {
+					return idx[id] >= nOffline || churnedOnline.Load()
+				},
+				func(it relay.Item) error {
+					delivered.Add(1)
+					return nil
+				})
+			defer r.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Churn phase: the first 30% of recipients are offline.
+				churnedOnline.Store(false)
+				sliced, err := core.SliceRound(upload)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j, s := range sliced.Slices() {
+					r.Submit(relay.Item{To: ids[j], From: "sender", Group: "bench", Payload: s})
+				}
+				// They return; drain the queues before the next round.
+				churnedOnline.Store(true)
+				for j := 0; j < nOffline; j++ {
+					r.Flush(ids[j])
+				}
+				for delivered.Load() < uint64((i+1)*n) {
+					runtime.Gosched()
+				}
+			}
+		})
+	}
 }

@@ -6,7 +6,13 @@
 //
 // Usage:
 //
-//	overlaysim [-clients 6] [-secure] [-profile lan] [-messages 3] [-v]
+//	overlaysim [-clients 6] [-secure] [-profile lan] [-messages 3] [-churn] [-v]
+//
+// With -churn (requires -secure) a third of the peers log out before
+// the group chatter, each round is uploaded ONCE to the broker's
+// store-and-forward relay, and the departed peers log back in at the
+// end to drain their queued slices — the offline-delivery path the
+// original client-side fan-out silently dropped.
 package main
 
 import (
@@ -35,15 +41,19 @@ func main() {
 	secure := flag.Bool("secure", false, "use the secure primitives")
 	profileName := flag.String("profile", "lan", "link profile: local, lan, wan")
 	messages := flag.Int("messages", 3, "group messages per client")
+	churn := flag.Bool("churn", false, "take a third of the peers offline mid-run; deliver via the broker relay queues (requires -secure)")
 	verbose := flag.Bool("v", false, "log every event")
 	flag.Parse()
 
-	if err := run(*nClients, *secure, *profileName, *messages, *verbose); err != nil {
+	if err := run(*nClients, *secure, *profileName, *messages, *churn, *verbose); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(nClients int, secure bool, profileName string, messages int, verbose bool) error {
+func run(nClients int, secure bool, profileName string, messages int, churn, verbose bool) error {
+	if churn && !secure {
+		return fmt.Errorf("-churn demonstrates relayed secure rounds; run with -secure")
+	}
 	profile, err := bench.ProfileByName(profileName)
 	if err != nil {
 		return err
@@ -96,7 +106,9 @@ func run(nClients int, secure bool, profileName string, messages int, verbose bo
 	}); err != nil {
 		return err
 	}
-	fmt.Printf("broker %q up (secure=%v, profile=%s)\n", br.Name(), secure, profileName)
+	rly := core.EnableBrokerRelay(br, core.RelayConfig{})
+	defer rly.Close()
+	fmt.Printf("broker %q up (secure=%v, profile=%s, churn=%v)\n", br.Name(), secure, profileName, churn)
 
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
@@ -174,15 +186,51 @@ func run(nClients int, secure bool, profileName string, messages int, verbose bo
 		}
 	}
 
+	// With churn, a third of the peers drop offline BEFORE the chatter:
+	// their traffic must survive in the broker's store-and-forward
+	// queues instead of being silently dropped.
+	var churned []int
+	if churn {
+		for i := range peersList {
+			if i%3 == 2 {
+				churned = append(churned, i)
+			}
+		}
+		for _, i := range churned {
+			if err := peersList[i].secure.Logout(ctx); err != nil {
+				return fmt.Errorf("%s logout: %w", user(i), err)
+			}
+		}
+		fmt.Printf("churn: %d of %d peers logged out mid-run\n", len(churned), len(peersList))
+	}
+	offline := make(map[int]bool, len(churned))
+	for _, i := range churned {
+		offline[i] = true
+	}
+
 	// Group chatter.
+	var relayDirect, relayQueued int
 	for round := 0; round < messages; round++ {
 		for i, p := range peersList {
+			if offline[i] {
+				continue
+			}
 			text := fmt.Sprintf("round %d greetings from %s", round, user(i))
 			var sent int
 			var err error
-			if secure {
+			switch {
+			case churn:
+				// The send-once path: ONE sealed round uploaded to the
+				// broker, which slices it per recipient — online members
+				// get a direct push, offline ones a queued slice.
+				var direct, queued int
+				direct, queued, err = p.secure.SecureMsgPeerGroupRelay(ctx, "plenary", text)
+				relayDirect += direct
+				relayQueued += queued
+				sent = direct + queued
+			case secure:
 				sent, err = p.secure.SecureMsgPeerGroup(ctx, "plenary", text)
-			} else {
+			default:
 				sent, err = p.plain.SendMsgPeerGroup(ctx, "plenary", text)
 			}
 			if err != nil {
@@ -192,6 +240,28 @@ func run(nClients int, secure bool, profileName string, messages int, verbose bo
 				fmt.Printf("  %s sent to %d peers\n", user(i), sent)
 			}
 		}
+	}
+
+	// The churned peers return: their fresh logins trigger presence
+	// events, and the relay's shard workers drain each queue in order.
+	if churn {
+		fmt.Printf("relay:   %d slices delivered directly, %d queued for offline peers\n", relayDirect, relayQueued)
+		for _, i := range churned {
+			sc := peersList[i].secure
+			if err := sc.SecureConnection(ctx, br.PeerID()); err != nil {
+				return fmt.Errorf("%s re-connect: %w", user(i), err)
+			}
+			if err := sc.SecureLogin(ctx, pw(i)); err != nil {
+				return fmt.Errorf("%s re-login: %w", user(i), err)
+			}
+		}
+		drainDeadline := time.Now().Add(10 * time.Second)
+		for rly.QueuedTotal() > 0 && time.Now().Before(drainDeadline) {
+			time.Sleep(20 * time.Millisecond)
+		}
+		m := rly.Metrics()
+		fmt.Printf("relay:   flushed %d queued slices on re-login (%d expired, %d dropped, residual %d)\n",
+			m.DeliveredFlushed, m.Expired, m.DroppedOverflow, rly.QueuedTotal())
 	}
 
 	// One cross-peer download.

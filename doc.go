@@ -34,4 +34,12 @@
 //     failures are never cached. internal/core and internal/broker
 //     thread these caches through messaging, advertisement acceptance
 //     and the (parallel) group fan-out.
+//   - Group fan-out seals ONE signed round per send (core.SealGroup);
+//     with the broker relay (internal/relay, core.EnableBrokerRelay)
+//     the sender uploads the round once and the broker slices it into
+//     per-recipient Merkle-bound wires (core.SliceRound/OpenSlice),
+//     delivering immediately to online members and queueing — bounded,
+//     TTL-expiring, drained on login — for offline ones. The relay
+//     holds no keys and no plaintext; SECURITY.md states what a
+//     compromised relay can and cannot do.
 package jxtaoverlay

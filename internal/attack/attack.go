@@ -200,6 +200,48 @@ func ForgeRound(headerXML, body []byte, recipients []*keys.PublicKey) ([]byte, e
 	return append(wire, ct...), nil
 }
 
+// ForgeSlice acts as a malicious relay colluding with a round insider:
+// the insider legitimately opened its cut of the round and hands the
+// relay the validly signed header (core.Opened.HeaderXML) plus the
+// plaintext; the relay re-encrypts them under a fresh content key
+// wrapped to an arbitrary target — including peers the sender never
+// addressed — and cuts a single-recipient ModeSlice wire for it. The
+// layout mirrors core's slice wire exactly; what the pair cannot mint
+// is a header whose signed SliceRoot covers the new wrap, which is
+// precisely the binding OpenSlice enforces.
+func ForgeSlice(headerXML, body []byte, target *keys.PublicKey) ([]byte, error) {
+	cek, err := keys.NewContentKey()
+	if err != nil {
+		return nil, err
+	}
+	block := make([]byte, 0, 4+len(headerXML)+len(body))
+	block = binary.BigEndian.AppendUint32(block, uint32(len(headerXML)))
+	block = append(block, headerXML...)
+	block = append(block, body...)
+	nonce, ct, err := keys.AEADSeal(cek, block)
+	if err != nil {
+		return nil, err
+	}
+	fp, err := target.Fingerprint()
+	if err != nil {
+		return nil, err
+	}
+	wrap, err := target.WrapKey(cek)
+	if err != nil {
+		return nil, err
+	}
+	wire := []byte{byte(core.ModeSlice)}
+	wire = binary.BigEndian.AppendUint32(wire, 1) // recipient count
+	wire = binary.BigEndian.AppendUint32(wire, 0) // leaf index
+	wire = append(wire, fp[:]...)
+	wire = binary.BigEndian.AppendUint32(wire, uint32(len(wrap)))
+	wire = append(wire, wrap...)
+	wire = append(wire, 0) // empty proof: for n=1 the leaf IS the root
+	wire = binary.BigEndian.AppendUint32(wire, uint32(len(nonce)))
+	wire = append(wire, nonce...)
+	return append(wire, ct...), nil
+}
+
 // NewFakeBroker stands up a broker that accepts every login — the
 // credential-harvesting endpoint of the DNS-spoofing scenario. It uses
 // the same well-known name as the target broker; nothing in the original

@@ -523,12 +523,25 @@ func (b *Broker) handleListPeers(from keys.PeerID, msg *endpoint.Message) *endpo
 		return proto.Fail(proto.ErrNotLoggedIn)
 	}
 	group, _ := msg.GetString(proto.ElemGroup)
-	if !b.memberOf(from, group) {
+	if !b.memberOf(from, group) && !b.KnownMember(from, group) {
 		return proto.Fail(proto.ErrNoGroup)
 	}
 	var lines []string
-	for _, p := range b.OnlinePeers(group) {
-		lines = append(lines, fmt.Sprintf("%s|%s|%s", p.ID, p.Username, advert.StatusOnline))
+	if all, _ := msg.GetString(proto.ElemAll); all == "1" {
+		// The store-and-forward roster: every known member, with real
+		// presence, so senders can address offline peers through the
+		// relay.
+		for _, p := range b.KnownPeers(group) {
+			status := advert.StatusOffline
+			if p.Online {
+				status = advert.StatusOnline
+			}
+			lines = append(lines, fmt.Sprintf("%s|%s|%s", p.ID, p.Username, status))
+		}
+	} else {
+		for _, p := range b.OnlinePeers(group) {
+			lines = append(lines, fmt.Sprintf("%s|%s|%s", p.ID, p.Username, advert.StatusOnline))
+		}
 	}
 	return proto.OK().AddString(proto.ElemPeers, strings.Join(lines, "\n"))
 }

@@ -308,6 +308,26 @@ func (c *Client) GetOnlinePeers(ctx context.Context, group string) ([]PeerSummar
 	if err != nil {
 		return nil, err
 	}
+	return parsePeerList(resp), nil
+}
+
+// GetGroupMembers returns every member the broker knows for a group —
+// online AND offline — with real presence in Status. This is the
+// store-and-forward roster: recipients a relayed round may address even
+// while they are logged out.
+func (c *Client) GetGroupMembers(ctx context.Context, group string) ([]PeerSummary, error) {
+	msg := endpoint.NewMessage().
+		AddString(proto.ElemOp, proto.OpListPeers).
+		AddString(proto.ElemGroup, group).
+		AddString(proto.ElemAll, "1")
+	resp, err := c.Call(ctx, msg)
+	if err != nil {
+		return nil, err
+	}
+	return parsePeerList(resp), nil
+}
+
+func parsePeerList(resp *endpoint.Message) []PeerSummary {
 	raw, _ := resp.GetString(proto.ElemPeers)
 	var out []PeerSummary
 	for _, line := range strings.Split(raw, "\n") {
@@ -321,7 +341,7 @@ func (c *Client) GetOnlinePeers(ctx context.Context, group string) ([]PeerSummar
 		out = append(out, PeerSummary{ID: keys.PeerID(parts[0]), Username: parts[1], Status: parts[2]})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out, nil
+	return out
 }
 
 // --- advertisement primitives ---
@@ -562,9 +582,21 @@ func (c *Client) onPipeDelivery(group string, d pipes.Delivery) {
 	}
 }
 
-// onBrokerPush handles advertisements propagated by the broker.
+// onBrokerPush handles advertisements propagated by the broker and
+// relay-delivered round slices.
 func (c *Client) onBrokerPush(from keys.PeerID, msg *endpoint.Message) *endpoint.Message {
 	op, _ := msg.GetString(proto.ElemOp)
+	if op == proto.OpSliceDeliver {
+		// A per-recipient round slice cut by the broker relay — either a
+		// live push or a queued item drained at login. It rides the same
+		// envelope path as pipe deliveries; the claimed origin is the
+		// submitting peer (unauthenticated here — the signed sender is
+		// inside the envelope, checked by the security extension).
+		group, _ := msg.GetString(proto.ElemGroup)
+		origin, _ := msg.GetString(proto.ElemPeer)
+		c.onPipeDelivery(group, pipes.Delivery{From: keys.PeerID(origin), Msg: msg})
+		return nil
+	}
 	if op != proto.OpAdvPush {
 		return nil
 	}

@@ -32,6 +32,12 @@ const (
 	// recipient, with only the per-recipient key wrap differing. See
 	// SealGroup/OpenGroup in round.go.
 	ModeGroup Mode = 'G'
+	// ModeSlice is one recipient's cut of a ModeGroup round: the shared
+	// ciphertext plus only that recipient's key wrap and a Merkle
+	// inclusion proof binding the slice to the signed round header. A
+	// relay produces slices from an uploaded round without holding keys
+	// or plaintext. See SliceRound/OpenSlice in slice.go.
+	ModeSlice Mode = 'L'
 )
 
 func (m Mode) String() string {
@@ -44,6 +50,8 @@ func (m Mode) String() string {
 		return "encrypt-only"
 	case ModeGroup:
 		return "group-round"
+	case ModeSlice:
+		return "round-slice"
 	default:
 		return fmt.Sprintf("mode(%c)", byte(m))
 	}
@@ -196,6 +204,10 @@ func Open(own *keys.KeyPair, wire []byte) (*Opened, error) {
 		// guard; surfaces that never expect rounds (e.g. the secure task
 		// service, which is strictly point-to-point) reject them here.
 		return nil, fmt.Errorf("%w: group round requires OpenGroup", ErrEnvelope)
+	case ModeSlice:
+		// Same reasoning as ModeGroup: slices carry round semantics and
+		// are only accepted by OpenSlice on round-tracking surfaces.
+		return nil, fmt.Errorf("%w: round slice requires OpenSlice", ErrEnvelope)
 	case ModeSign:
 		block = payload
 	case ModeFull, ModeEncrypt:

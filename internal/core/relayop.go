@@ -1,0 +1,145 @@
+package core
+
+import (
+	"errors"
+	"strconv"
+	"strings"
+
+	"jxtaoverlay/internal/broker"
+	"jxtaoverlay/internal/endpoint"
+	"jxtaoverlay/internal/keys"
+	"jxtaoverlay/internal/proto"
+	"jxtaoverlay/internal/relay"
+)
+
+// Broker-side relay registration: the glue between the generic
+// store-and-forward queues (internal/relay) and the broker's operation
+// surface. A sender uploads ONE sealed ModeGroup round (relayRound);
+// the broker slices it per recipient (core.SliceRound — byte surgery,
+// no keys, no plaintext) and routes each slice: direct push to online
+// peers, bounded TTL queue for offline ones, drained on their next
+// login by the relay's shard workers.
+//
+// Trust model (see SECURITY.md): the broker validates session and
+// group-roster facts it owns (submitter logged in, recipients known
+// members) but can vouch for nothing cryptographic. Each slice carries
+// the signed round header inside the shared ciphertext; the recipient's
+// OpenSlice enforces the Merkle recipient binding and the single-use
+// round nonce, so a compromised broker cannot read, re-target, forge or
+// replay what it queues — only drop or delay it.
+
+// ErrRelayUnavailable is returned by the client-side relay primitives
+// when the broker rejects the relay operation.
+var ErrRelayUnavailable = errors.New("core: broker relay unavailable")
+
+// ErrRelaySkipped is returned (wrapped, with counts) by the client-side
+// relay primitives when the broker refused some addressed recipients —
+// unknown to it, or resident at a federation partner it cannot flush a
+// queue for. The round still went out to everyone counted in
+// direct/queued; the error exists so a shortfall is never silent.
+var ErrRelaySkipped = errors.New("core: relay skipped undeliverable recipients")
+
+// RelayConfig parameterizes the broker relay. It embeds the queue
+// configuration and exists so future knobs (per-group quotas, federated
+// hand-off) have a home that is not internal/relay's concern.
+type RelayConfig struct {
+	relay.Config
+}
+
+// EnableBrokerRelay attaches the store-and-forward relay subsystem to a
+// broker: it builds the sharded queues, binds queue drains to the
+// broker's presence events, and registers the relayRound operation.
+// Close() the returned relay when the broker shuts down.
+func EnableBrokerRelay(b *broker.Broker, cfg RelayConfig) *relay.Relay {
+	r := relay.New(cfg.Config, b.PeerOnline, func(it relay.Item) error {
+		return b.Endpoint().Send(it.To, proto.ClientService, sliceDeliverMessage(it))
+	})
+	r.BindBus(b.Bus())
+	b.RegisterOp(proto.OpRelayRound, relayRoundHandler(b, r))
+	return r
+}
+
+// sliceDeliverMessage wraps one slice into the client push that carries
+// it — the same ClientService surface advertisement pushes use.
+func sliceDeliverMessage(it relay.Item) *endpoint.Message {
+	return endpoint.NewMessage().
+		AddString(proto.ElemOp, proto.OpSliceDeliver).
+		AddString(proto.ElemGroup, it.Group).
+		AddString(proto.ElemPeer, string(it.From)).
+		Add(proto.ElemEnvelope, it.Payload)
+}
+
+// relayRoundHandler processes one uploaded round: validate, slice,
+// route. The response reports how many slices went out directly and how
+// many were queued.
+func relayRoundHandler(b *broker.Broker, r *relay.Relay) broker.OpHandler {
+	return func(from keys.PeerID, msg *endpoint.Message) *endpoint.Message {
+		if !b.PeerOnline(from) {
+			return proto.Fail(proto.ErrNotLoggedIn)
+		}
+		group, _ := msg.GetString(proto.ElemGroup)
+		if !b.KnownMember(from, group) {
+			return proto.Fail(proto.ErrNoGroup)
+		}
+		wire, ok := msg.Get(proto.ElemEnvelope)
+		if !ok || len(wire) == 0 || Mode(wire[0]) != ModeGroup {
+			return proto.Fail(proto.ErrBadRound)
+		}
+		rcptCSV, _ := msg.GetString(proto.ElemRecipients)
+		if rcptCSV == "" {
+			return proto.Fail(proto.ErrBadRequest)
+		}
+		ids := strings.Split(rcptCSV, ",")
+		d, err := SliceRound(wire)
+		if err != nil {
+			return proto.Fail(proto.ErrBadRound)
+		}
+		// The recipient list must pair 1:1 with the round's key wraps —
+		// the broker cannot check WHICH fingerprint belongs to which peer
+		// (it holds no keys), but a mismapped slice is merely
+		// undeliverable: the wrong recipient fails ErrNotRecipient and the
+		// signed Merkle binding stops anything stronger.
+		if len(ids) != d.Recipients() {
+			return proto.Fail(proto.ErrBadRound)
+		}
+		// Every addressed recipient lands in exactly one of the three
+		// counters — direct, queued or skipped — so the sender can detect
+		// a shortfall instead of a silent drop. Slices are cut lazily:
+		// only accepted recipients pay for their copy of the ciphertext.
+		direct, queued, skipped := 0, 0, 0
+		for i, raw := range ids {
+			id := keys.PeerID(raw)
+			if !b.KnownMember(id, group) || id == from {
+				// No session record for this member (e.g. the broker
+				// restarted and the peer never returned), or the sender
+				// addressed itself.
+				skipped++
+				continue
+			}
+			if !b.PeerResident(id) {
+				// The member is logged in at (or last seen through) a
+				// federation partner: its presence events fire there, so a
+				// queue here would only expire. Until federated hand-off
+				// exists (ROADMAP), refuse the slice honestly instead of
+				// reporting it queued-for-delivery.
+				skipped++
+				continue
+			}
+			switch r.Submit(relay.Item{To: id, From: from, Group: group, Payload: d.Slice(i)}) {
+			case relay.SubmitDirect:
+				direct++
+			case relay.SubmitQueued:
+				queued++
+			case relay.SubmitDropped:
+				// The relay shut down mid-round; nothing already counted is
+				// lost, but the remaining slices cannot be accepted — fail
+				// so the sender does not trust the queued count.
+				return proto.Fail(proto.ErrRelayOff)
+			}
+		}
+		return proto.OK().
+			AddString(proto.ElemRelayDirect, strconv.Itoa(direct)).
+			AddString(proto.ElemRelayQueued, strconv.Itoa(queued)).
+			AddString(proto.ElemRelaySkipped, strconv.Itoa(skipped))
+	}
+}

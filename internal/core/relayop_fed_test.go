@@ -1,0 +1,118 @@
+package core_test
+
+import (
+	"context"
+	"strconv"
+	"testing"
+	"time"
+
+	"jxtaoverlay/internal/broker"
+	"jxtaoverlay/internal/client"
+	"jxtaoverlay/internal/core"
+	"jxtaoverlay/internal/endpoint"
+	"jxtaoverlay/internal/keys"
+	"jxtaoverlay/internal/membership"
+	"jxtaoverlay/internal/proto"
+	"jxtaoverlay/internal/simnet"
+	"jxtaoverlay/internal/userdb"
+)
+
+// TestRelayRefusesFederationResidentRecipients: a group member logged
+// in at a federation partner must NOT be queued for locally — its
+// presence events (and therefore the queue drain) fire at its own
+// broker, so a queue here could only expire. The relay op refuses the
+// slice and reports it skipped instead of telling the sender it is
+// queued for a login that will never happen at this broker.
+func TestRelayRefusesFederationResidentRecipients(t *testing.T) {
+	net := simnet.NewNetwork(simnet.ProfileLocal)
+	defer net.Close()
+	db := userdb.NewStoreIter(4)
+	db.Register("alice", "pw", "math")
+	db.Register("bob", "pw", "math")
+	auth := broker.AuthenticatorFunc(func(_ context.Context, u, p string) ([]string, error) {
+		return db.Authenticate(u, p)
+	})
+	mk := func(name string) *broker.Broker {
+		b, err := broker.New(broker.Config{Name: name, PeerID: keys.LegacyPeerID(name), Net: net, DB: auth})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(b.Close)
+		return b
+	}
+	brA, brB := mk("fed-broker-a"), mk("fed-broker-b")
+	brA.Federate(brB.PeerID())
+	brB.Federate(brA.PeerID())
+	rly := core.EnableBrokerRelay(brA, core.RelayConfig{})
+	defer rly.Close()
+
+	login := func(alias string, br *broker.Broker) *client.Client {
+		cl, err := client.New(net, membership.NewNone(), alias)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(cl.Close)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := cl.Connect(ctx, br.PeerID()); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Login(ctx, "pw"); err != nil {
+			t.Fatal(err)
+		}
+		return cl
+	}
+	alice := login("alice", brA)
+	bob := login("bob", brB)
+
+	// Broker A learns bob's session record through federation.
+	deadline := time.Now().Add(5 * time.Second)
+	for !brA.KnownMember(bob.PeerID(), "math") && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !brA.KnownMember(bob.PeerID(), "math") {
+		t.Fatal("broker A never learned bob through federation")
+	}
+	if brA.PeerResident(bob.PeerID()) {
+		t.Fatal("federation-origin peer reported resident")
+	}
+	if !brA.PeerResident(alice.PeerID()) {
+		t.Fatal("locally logged-in peer not resident")
+	}
+
+	// One sealed round addressed to bob (federation-resident) and a peer
+	// the broker has no session record for. The wrap keys need not be
+	// real recipient keys: the broker holds no keys and must refuse on
+	// residency and roster facts, before delivery is even attempted —
+	// and every refused recipient must be counted, not silently dropped.
+	kp, err := keys.NewKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := core.SealGroupDetached(kp, alice.PeerID(), "math", []byte("cross-broker"),
+		[]*keys.PublicKey{kp.Public(), kp.Public()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	resp, err := alice.Call(ctx, endpoint.NewMessage().
+		AddString(proto.ElemOp, proto.OpRelayRound).
+		AddString(proto.ElemGroup, "math").
+		AddString(proto.ElemRecipients, string(bob.PeerID())+",urn:jxta:nobody").
+		Add(proto.ElemEnvelope, d.Wire()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(elem string) int {
+		v, _ := resp.GetString(elem)
+		n, _ := strconv.Atoi(v)
+		return n
+	}
+	if direct, queued, skipped := count(proto.ElemRelayDirect), count(proto.ElemRelayQueued), count(proto.ElemRelaySkipped); direct != 0 || queued != 0 || skipped != 2 {
+		t.Fatalf("direct=%d queued=%d skipped=%d, want 0/0/2", direct, queued, skipped)
+	}
+	if got := rly.QueuedTotal(); got != 0 {
+		t.Fatalf("relay queued %d slices for undeliverable recipients", got)
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"jxtaoverlay/internal/endpoint"
+	"jxtaoverlay/internal/keys"
+	"jxtaoverlay/internal/parallel"
+	"jxtaoverlay/internal/proto"
+)
+
+// Client-side relay fan-out: the send-once path. Instead of sending the
+// round wire to every member (client-side fan-out, O(N^2) bytes up the
+// sender's link across a round), the sender verifies each recipient's
+// certified key, seals ONE round — one header signature, one content
+// encryption, one wrap per recipient — and uploads the wire ONCE to the
+// broker's relay, which slices it per recipient and handles presence:
+// direct push to online members, bounded store-and-forward queues for
+// offline ones. Recipients may therefore be offline at send time, which
+// no other messenger primitive in this repo allows.
+
+// SecureMsgPeerGroupRelay fans a secure message over the group's FULL
+// membership roster — online and offline members alike — through the
+// broker relay. It returns how many recipients were reached immediately
+// and how many were queued for delivery at their next login.
+func (s *SecureClient) SecureMsgPeerGroupRelay(ctx context.Context, group, text string) (direct, queued int, err error) {
+	members, err := s.GetGroupMembers(ctx, group)
+	if err != nil {
+		return 0, 0, err
+	}
+	ids := make([]keys.PeerID, 0, len(members))
+	for _, m := range members {
+		if m.ID != s.PeerID() {
+			ids = append(ids, m.ID)
+		}
+	}
+	return s.SecureMsgPeersViaRelay(ctx, group, text, ids)
+}
+
+// SecureMsgPeersViaRelay seals one round for the listed peers and
+// uploads it once per maxRoundRecipients chunk. Every recipient's
+// signed pipe advertisement is verified first (steps 1-3 of §4.3.1,
+// cached) — advertisements survive in the broker index while their
+// owner is offline, so offline recipients resolve too. Peers whose key
+// cannot be verified are skipped and reported via the first error, and
+// recipients the broker refuses — unknown to it, or resident at a
+// federation partner whose presence events (and queue drains) fire
+// elsewhere — surface as a wrapped ErrRelaySkipped: direct+queued then
+// falls short of len(peers), never silently.
+func (s *SecureClient) SecureMsgPeersViaRelay(ctx context.Context, group, text string, peers []keys.PeerID) (direct, queued int, err error) {
+	if len(peers) == 0 {
+		return 0, 0, nil
+	}
+	recipients := make([]*keys.PublicKey, len(peers))
+	errs := make([]error, len(peers))
+	parallel.ForEach(fanOutParallelism(), len(peers), func(i int) {
+		key, _, kerr := s.verifiedPeerKey(ctx, peers[i], group)
+		if kerr != nil {
+			errs[i] = kerr
+			return
+		}
+		recipients[i] = key
+	})
+	var firstErr error
+	for _, e := range errs {
+		if e != nil {
+			firstErr = e
+			break
+		}
+	}
+	verified := make([]int, 0, len(peers))
+	for i := range peers {
+		if recipients[i] != nil {
+			verified = append(verified, i)
+		}
+	}
+	for start := 0; start < len(verified); start += maxRoundRecipients {
+		chunk := verified[start:min(start+maxRoundRecipients, len(verified))]
+		keyList := make([]*keys.PublicKey, len(chunk))
+		idList := make([]string, len(chunk))
+		for j, i := range chunk {
+			keyList[j] = recipients[i]
+			idList[j] = string(peers[i])
+		}
+		d, serr := SealGroupDetached(s.kp, s.PeerID(), group, []byte(text), keyList)
+		if serr != nil {
+			if firstErr == nil {
+				firstErr = serr
+			}
+			continue
+		}
+		// The single upload: one wire for the whole chunk, recipient IDs
+		// paired in wrap order so the broker can address the slices.
+		msg := endpoint.NewMessage().
+			AddString(proto.ElemOp, proto.OpRelayRound).
+			AddString(proto.ElemGroup, group).
+			AddString(proto.ElemRecipients, strings.Join(idList, ",")).
+			Add(proto.ElemEnvelope, d.Wire())
+		resp, cerr := s.Call(ctx, msg)
+		if cerr != nil {
+			if firstErr == nil {
+				firstErr = ErrRelayUnavailable
+			}
+			continue
+		}
+		dd, _ := resp.GetString(proto.ElemRelayDirect)
+		qq, _ := resp.GetString(proto.ElemRelayQueued)
+		ss, _ := resp.GetString(proto.ElemRelaySkipped)
+		di, _ := strconv.Atoi(dd)
+		qi, _ := strconv.Atoi(qq)
+		si, _ := strconv.Atoi(ss)
+		direct += di
+		queued += qi
+		if si > 0 && firstErr == nil {
+			firstErr = fmt.Errorf("%w: %d of %d", ErrRelaySkipped, si, len(chunk))
+		}
+	}
+	return direct, queued, firstErr
+}

@@ -25,9 +25,18 @@ type ReplayGuard struct {
 	// maxEntries bounds memory; oldest entries are evicted first.
 	maxEntries int
 
-	mu    sync.Mutex
-	seen  map[string]time.Time
-	clock func() time.Time
+	mu sync.Mutex
+	// seen maps each admitted digest/nonce to the instant it stops
+	// mattering: sentAt + window, the moment the freshness check alone
+	// would reject any replay. Keying expiry to the SIGNED timestamp
+	// (not the admission clock) is what makes pruning safe: an entry is
+	// only ever dropped once a replay of it would fail ErrMessageStale
+	// anyway, so a future-dated message (allowed clock skew) stays
+	// tracked for up to 2×window rather than being pruned while still
+	// replayable.
+	seen      map[string]time.Time
+	nextSweep time.Time
+	clock     func() time.Time
 }
 
 // NewReplayGuard creates a guard accepting messages within the given
@@ -83,24 +92,32 @@ func (g *ReplayGuard) admit(key string, sentAt time.Time) error {
 	if _, dup := g.seen[key]; dup {
 		return ErrMessageReplayed
 	}
-	// Evict: expired first, then oldest if still over budget.
-	for k, t := range g.seen {
-		if now.Sub(t) > g.window {
-			delete(g.seen, k)
-		}
-	}
-	if len(g.seen) >= g.maxEntries {
-		var oldestK string
-		var oldestT time.Time
-		first := true
-		for k, t := range g.seen {
-			if first || t.Before(oldestT) {
-				oldestK, oldestT, first = k, t, false
+	// Prune entries whose window has fully passed. The sweep is
+	// amortized — at most every window/4, or when the map hits its
+	// budget — so a long-lived broker's per-message cost stays O(1)
+	// while its memory tracks live traffic, not lifetime traffic.
+	if !now.Before(g.nextSweep) || len(g.seen) >= g.maxEntries {
+		for k, exp := range g.seen {
+			if now.After(exp) {
+				delete(g.seen, k)
 			}
 		}
-		delete(g.seen, oldestK)
+		g.nextSweep = now.Add(g.window / 4)
 	}
-	g.seen[key] = now
+	if len(g.seen) >= g.maxEntries {
+		// Still over budget after pruning: evict the entry closest to
+		// expiry (the shortest remaining replay exposure).
+		var soonestK string
+		var soonestT time.Time
+		first := true
+		for k, exp := range g.seen {
+			if first || exp.Before(soonestT) {
+				soonestK, soonestT, first = k, exp, false
+			}
+		}
+		delete(g.seen, soonestK)
+	}
+	g.seen[key] = sentAt.Add(g.window)
 	return nil
 }
 

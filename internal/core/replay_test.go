@@ -66,6 +66,79 @@ func TestReplayGuardBoundsMemory(t *testing.T) {
 	}
 }
 
+// TestReplayGuardPrunedNonceStillRejected pins the pruning invariant
+// the store-and-forward relay depends on: a round nonce may only leave
+// the guard's memory once replaying it would fail the freshness check
+// anyway. The probe is a future-dated round (allowed clock skew):
+// pruning keyed to ADMISSION time would drop it while its signed
+// timestamp is still fresh, letting a relay replay a drained slice.
+func TestReplayGuardPrunedNonceStillRejected(t *testing.T) {
+	const window = time.Minute
+	g := NewReplayGuard(window, 16)
+	base := time.Now()
+	now := base
+	g.SetClock(func() time.Time { return now })
+
+	nonce := []byte("round-nonce-1")
+	// Signed 50s in the future (skew within ±window), admitted at base.
+	sentAt := base.Add(50 * time.Second)
+	if err := g.CheckRound("alice", nonce, sentAt); err != nil {
+		t.Fatalf("first CheckRound: %v", err)
+	}
+
+	// 70s later the ADMISSION is older than the window, but the signed
+	// timestamp is only 20s old — a replay is still fresh. Force sweeps
+	// with unrelated traffic; the entry must survive them.
+	now = base.Add(70 * time.Second)
+	for i := 0; i < 3; i++ {
+		if err := g.Check([]byte{byte(i)}, now); err != nil {
+			t.Fatalf("filler Check: %v", err)
+		}
+	}
+	if err := g.CheckRound("alice", nonce, sentAt); err != ErrMessageReplayed {
+		t.Fatalf("replay inside window = %v, want ErrMessageReplayed", err)
+	}
+
+	// Once sentAt+window has passed, the entry may be pruned — and is:
+	// staleness now rejects the replay, and memory is reclaimed.
+	now = base.Add(3 * time.Minute)
+	if err := g.Check([]byte("sweep-trigger"), now); err != nil {
+		t.Fatalf("sweep trigger: %v", err)
+	}
+	if g.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (all pre-window entries pruned)", g.Len())
+	}
+	if err := g.CheckRound("alice", nonce, sentAt); err != ErrMessageStale {
+		t.Fatalf("replay outside window = %v, want ErrMessageStale", err)
+	}
+}
+
+// TestReplayGuardSweepAmortized: the expired-entry sweep must not run
+// on every admit — only when overdue (window/4) or over budget.
+func TestReplayGuardSweepAmortized(t *testing.T) {
+	const window = time.Minute
+	g := NewReplayGuard(window, 1024)
+	base := time.Now()
+	now := base
+	g.SetClock(func() time.Time { return now })
+	g.Check([]byte("early"), now)
+
+	// Let the early entry expire, then admit within one sweep period:
+	// the dead entry lingers (no sweep yet)...
+	now = base.Add(window + time.Second)
+	g.nextSweep = now.Add(window / 4)
+	g.Check([]byte("mid"), now)
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (sweep must be deferred)", g.Len())
+	}
+	// ...and the next overdue admit reclaims it.
+	now = now.Add(window / 2)
+	g.Check([]byte("late"), now)
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (expired entry swept)", g.Len())
+	}
+}
+
 func TestReplayGuardDefaults(t *testing.T) {
 	g := NewReplayGuard(0, 0)
 	if err := g.Check([]byte("x"), time.Now()); err != nil {

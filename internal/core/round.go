@@ -4,7 +4,6 @@ import (
 	"encoding/base64"
 	"encoding/binary"
 	"errors"
-	"fmt"
 	"time"
 
 	"jxtaoverlay/internal/keys"
@@ -71,80 +70,19 @@ func recipientsDigest(fps [][32]byte) []byte {
 // sign-then-encrypt with a single header signature regardless of the
 // recipient count. The returned wire is identical for every recipient —
 // callers send the same bytes to each member and each member's OpenGroup
-// unwraps its own key.
+// unwraps its own key. Senders that hand the round to a relay for
+// per-recipient slicing use SealGroupDetached instead (same sealing, a
+// choice of assemblies).
 func SealGroup(signer *keys.KeyPair, sender keys.PeerID, group string, body []byte, recipients []*keys.PublicKey) (*Sealed, error) {
-	if signer == nil {
-		return nil, errors.New("core: group round requires a signing key")
-	}
-	if len(recipients) == 0 {
-		return nil, errors.New("core: group round requires at least one recipient")
-	}
-	if len(recipients) > maxRoundRecipients {
-		return nil, fmt.Errorf("core: group round exceeds %d recipients", maxRoundRecipients)
-	}
-	fps := make([][32]byte, len(recipients))
-	for i, r := range recipients {
-		fp, err := r.Fingerprint()
-		if err != nil {
-			return nil, err
-		}
-		fps[i] = fp
-	}
-	nonce, err := keys.RandomBytes(roundNonceSize)
+	d, err := SealGroupDetached(signer, sender, group, body, recipients)
 	if err != nil {
 		return nil, err
 	}
-
-	// The round header: one timestamp + nonce + group + body digest +
-	// recipient-set binding, signed once.
-	header := xmldoc.New(roundHeaderName, "")
-	header.AddText("Sender", string(sender))
-	header.AddText("Group", group)
-	header.AddText("BodyDigest", base64.StdEncoding.EncodeToString(keys.SHA256(body)))
-	header.AddText("Time", time.Now().UTC().Format(time.RFC3339Nano))
-	header.AddText("Nonce", base64.StdEncoding.EncodeToString(nonce))
-	header.AddText("Recipients", base64.StdEncoding.EncodeToString(recipientsDigest(fps)))
-	sig, err := signer.Sign(header.Canonical())
-	if err != nil {
-		return nil, err
-	}
-	header.AddText("Signature", base64.StdEncoding.EncodeToString(sig))
-
-	// Encrypt the block once under a fresh content key...
-	cek, err := keys.NewContentKey()
-	if err != nil {
-		return nil, err
-	}
-	gcmNonce, ct, err := keys.AEADSeal(cek, packBlock(header, body))
-	if err != nil {
-		return nil, err
-	}
-	// ...and wrap that key to each recipient (the only per-recipient
-	// asymmetric work in the round).
-	wraps := make([][]byte, len(recipients))
-	wireLen := 1 + 4 + 4 + len(gcmNonce) + len(ct)
-	for i, r := range recipients {
-		w, err := r.WrapKey(cek)
-		if err != nil {
-			return nil, err
-		}
-		wraps[i] = w
-		wireLen += 32 + 4 + len(w)
-	}
-
-	wire := make([]byte, 0, wireLen)
-	wire = append(wire, byte(ModeGroup))
-	wire = binary.BigEndian.AppendUint32(wire, uint32(len(wraps)))
-	for i := range wraps {
-		wire = append(wire, fps[i][:]...)
-		wire = binary.BigEndian.AppendUint32(wire, uint32(len(wraps[i])))
-		wire = append(wire, wraps[i]...)
-	}
-	wire = binary.BigEndian.AppendUint32(wire, uint32(len(gcmNonce)))
-	wire = append(wire, gcmNonce...)
-	wire = append(wire, ct...)
-	return &Sealed{Mode: ModeGroup, wire: wire}, nil
+	return &Sealed{Mode: ModeGroup, wire: d.Wire()}, nil
 }
+
+// nowUTCRFC3339 renders the signed round timestamp.
+func nowUTCRFC3339() string { return time.Now().UTC().Format(time.RFC3339Nano) }
 
 // roundWire is the parsed (but not yet decrypted) group round.
 type roundWire struct {
@@ -251,6 +189,15 @@ func OpenGroup(own *keys.KeyPair, wire []byte, guard *ReplayGuard) (*Opened, err
 	if !keys.ConstantTimeEqual(recipientsDigest(rw.fps), wantRecipients) {
 		return nil, ErrRoundBinding
 	}
+	return finishRoundOpen(header, body, ModeGroup, guard)
+}
+
+// finishRoundOpen is the tail shared by OpenGroup and OpenSlice once the
+// recipient binding specific to the wire form has been checked: parse
+// the signed timestamp, nonce and signature out of the round header,
+// build the Opened, and (when a guard is supplied) enforce the
+// single-use round nonce.
+func finishRoundOpen(header *xmldoc.Element, body []byte, mode Mode, guard *ReplayGuard) (*Opened, error) {
 	sentAt, err := time.Parse(time.RFC3339Nano, header.ChildText("Time"))
 	if err != nil {
 		return nil, ErrEnvelope
@@ -270,7 +217,7 @@ func OpenGroup(own *keys.KeyPair, wire []byte, guard *ReplayGuard) (*Opened, err
 		return nil, ErrEnvelope
 	}
 	o := &Opened{
-		Mode:     ModeGroup,
+		Mode:     mode,
 		Sender:   keys.PeerID(header.ChildText("Sender")),
 		Group:    header.ChildText("Group"),
 		Body:     body,

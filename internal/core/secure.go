@@ -453,11 +453,17 @@ func (s *SecureClient) handleEnvelope(group string, d pipes.Delivery) bool {
 	}
 	var opened *Opened
 	var err error
-	if len(wire) > 0 && Mode(wire[0]) == ModeGroup {
+	switch {
+	case len(wire) > 0 && Mode(wire[0]) == ModeGroup:
 		// Group rounds are only accepted on this messaging surface, which
 		// tracks round nonces below; Open rejects them everywhere else.
 		opened, err = OpenGroup(s.kp, wire, nil)
-	} else {
+	case len(wire) > 0 && Mode(wire[0]) == ModeSlice:
+		// A per-recipient cut of a round, relayed by the broker. Same
+		// round semantics (and the same nonce tracking below) with the
+		// slice Merkle binding in place of the full recipient digest.
+		opened, err = OpenSlice(s.kp, wire, nil)
+	default:
 		opened, err = Open(s.kp, wire)
 	}
 	if err != nil {
@@ -466,12 +472,27 @@ func (s *SecureClient) handleEnvelope(group string, d pipes.Delivery) bool {
 		}})
 		return true
 	}
+	if (opened.Mode == ModeGroup || opened.Mode == ModeSlice) && opened.Group != group {
+		// Round delivery is the one surface where the group label is a
+		// remote claim (the relay push / propagate fan-out carries it),
+		// not the receiver's own pipe registration. The signed header
+		// names the real group: a two-group insider must not get a round
+		// sealed for group Y surfaced to the application as group X
+		// traffic. Checked before the replay guard so a mislabeled
+		// delivery does not burn the round's single-use nonce.
+		s.Bus().Emit(events.Event{Type: events.SecurityAlert, From: opened.Sender, Group: group, Payload: map[string]string{
+			"reason": "round delivered under wrong group: signed " + opened.Group + ", claimed " + group,
+		}})
+		return true
+	}
 	if s.replayGuard != nil {
 		err := s.replayGuard.Check(wire, opened.SentAt)
-		if err == nil && opened.Mode == ModeGroup {
-			// Round wires are identical across recipients, so a replay can
-			// arrive as different bytes (re-encrypted by a malicious round
-			// member); the signed single-use nonce catches that.
+		if err == nil && (opened.Mode == ModeGroup || opened.Mode == ModeSlice) {
+			// Round wires are identical across recipients (and a slice is a
+			// re-cut of the same round), so a replay can arrive as different
+			// bytes — re-encrypted by a malicious round member, or the same
+			// round re-sliced and re-sent by a compromised relay; the signed
+			// single-use nonce catches both.
 			err = s.replayGuard.CheckRound(opened.Sender, opened.Nonce, opened.SentAt)
 		}
 		if err != nil {

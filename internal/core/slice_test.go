@@ -1,0 +1,242 @@
+package core_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"jxtaoverlay/internal/core"
+	"jxtaoverlay/internal/keys"
+)
+
+type sliceParty struct {
+	kp *keys.KeyPair
+	id keys.PeerID
+}
+
+func newSliceParty(t *testing.T) sliceParty {
+	t.Helper()
+	kp, err := keys.NewKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := keys.CBID(kp.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sliceParty{kp: kp, id: id}
+}
+
+func newSliceParties(t *testing.T, n int) (sliceParty, []sliceParty, []*keys.PublicKey) {
+	t.Helper()
+	sender := newSliceParty(t)
+	members := make([]sliceParty, n)
+	pubs := make([]*keys.PublicKey, n)
+	for i := range members {
+		members[i] = newSliceParty(t)
+		pubs[i] = members[i].kp.Public()
+	}
+	return sender, members, pubs
+}
+
+// TestSliceRoundTrip: every recipient opens its own slice, recovers the
+// body, and can verify the single sender signature — for recipient
+// counts covering the empty-proof, odd-leaf and power-of-two tree
+// shapes.
+func TestSliceRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		sender, members, pubs := newSliceParties(t, n)
+		body := []byte("sliced round payload")
+		before := sender.kp.SignCalls()
+		d, err := core.SealGroupDetached(sender.kp, sender.id, "math", body, pubs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := sender.kp.SignCalls() - before; got != 1 {
+			t.Fatalf("n=%d: sealing cost %d signatures, want 1", n, got)
+		}
+		slices := d.Slices()
+		if len(slices) != n {
+			t.Fatalf("n=%d: got %d slices", n, len(slices))
+		}
+		for i, m := range members {
+			opened, err := core.OpenSlice(m.kp, slices[i], nil)
+			if err != nil {
+				t.Fatalf("n=%d recipient %d: %v", n, i, err)
+			}
+			if !bytes.Equal(opened.Body, body) {
+				t.Fatalf("n=%d recipient %d: body mismatch", n, i)
+			}
+			if opened.Mode != core.ModeSlice {
+				t.Fatalf("mode = %v, want ModeSlice", opened.Mode)
+			}
+			if opened.Sender != sender.id || opened.Group != "math" {
+				t.Fatalf("n=%d recipient %d: header fields wrong", n, i)
+			}
+			if err := opened.VerifySignature(sender.kp.Public()); err != nil {
+				t.Fatalf("n=%d recipient %d: signature: %v", n, i, err)
+			}
+		}
+	}
+}
+
+// TestSliceRoundRelaySide: a relay holding only the full ModeGroup wire
+// re-cuts it into the exact same slices the sender would produce — byte
+// surgery needs no keys.
+func TestSliceRoundRelaySide(t *testing.T) {
+	sender, _, pubs := newSliceParties(t, 5)
+	d, err := core.SealGroupDetached(sender.kp, sender.id, "math", []byte("x"), pubs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resliced, err := core.SliceRound(d.Wire())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resliced.Recipients() != 5 {
+		t.Fatalf("recipients = %d, want 5", resliced.Recipients())
+	}
+	want, got := d.Slices(), resliced.Slices()
+	for i := range want {
+		if !bytes.Equal(want[i], got[i]) {
+			t.Fatalf("slice %d differs between sender and relay assembly", i)
+		}
+	}
+}
+
+// TestSliceFullWireInterop: the same detached round opens both as a full
+// ModeGroup wire and as slices, and SealGroup still produces the classic
+// wire.
+func TestSliceFullWireInterop(t *testing.T) {
+	sender, members, pubs := newSliceParties(t, 3)
+	body := []byte("interop")
+	d, err := core.SealGroupDetached(sender.kp, sender.id, "g", body, pubs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.OpenGroup(members[1].kp, d.Wire(), nil); err != nil {
+		t.Fatalf("full wire from detached round: %v", err)
+	}
+	sealed, err := core.SealGroup(sender.kp, sender.id, "g", body, pubs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.OpenGroup(members[0].kp, sealed.Bytes(), nil); err != nil {
+		t.Fatalf("SealGroup wire: %v", err)
+	}
+}
+
+// TestSliceWrongRecipientRejected: a slice delivered to the wrong peer
+// fails before any decryption can happen.
+func TestSliceWrongRecipientRejected(t *testing.T) {
+	sender, members, pubs := newSliceParties(t, 2)
+	d, err := core.SealGroupDetached(sender.kp, sender.id, "g", []byte("x"), pubs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slices := d.Slices()
+	if _, err := core.OpenSlice(members[1].kp, slices[0], nil); !errors.Is(err, core.ErrNotRecipient) {
+		t.Fatalf("misrouted slice = %v, want ErrNotRecipient", err)
+	}
+	if _, err := core.OpenSlice(nil, slices[0], nil); !errors.Is(err, core.ErrNotRecipient) {
+		t.Fatalf("nil key = %v, want ErrNotRecipient", err)
+	}
+}
+
+// TestSliceReplayRejected: the signed single-use round nonce makes a
+// replayed slice (the store-and-forward relay's new replay surface) die
+// at the recipient's guard.
+func TestSliceReplayRejected(t *testing.T) {
+	sender, members, pubs := newSliceParties(t, 2)
+	d, err := core.SealGroupDetached(sender.kp, sender.id, "g", []byte("x"), pubs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guard := core.NewReplayGuard(time.Minute, 64)
+	w := d.Slices()[0]
+	if _, err := core.OpenSlice(members[0].kp, w, guard); err != nil {
+		t.Fatalf("first delivery: %v", err)
+	}
+	if _, err := core.OpenSlice(members[0].kp, w, guard); !errors.Is(err, core.ErrMessageReplayed) {
+		t.Fatalf("replayed slice = %v, want ErrMessageReplayed", err)
+	}
+	// A recipient that accepted the full-wire round also rejects its
+	// slice of the same round: the nonce is shared.
+	guard2 := core.NewReplayGuard(time.Minute, 64)
+	if _, err := core.OpenGroup(members[1].kp, d.Wire(), guard2); err != nil {
+		t.Fatalf("full wire: %v", err)
+	}
+	if _, err := core.OpenSlice(members[1].kp, d.Slices()[1], guard2); !errors.Is(err, core.ErrMessageReplayed) {
+		t.Fatalf("slice after full wire = %v, want ErrMessageReplayed", err)
+	}
+}
+
+// TestSliceModeConfinement: Open rejects slice wires (round semantics
+// need a guard-tracking surface), OpenSlice rejects non-slice wires, and
+// OpenGroup rejects slices.
+func TestSliceModeConfinement(t *testing.T) {
+	sender, members, pubs := newSliceParties(t, 2)
+	d, err := core.SealGroupDetached(sender.kp, sender.id, "g", []byte("x"), pubs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := d.Slices()[0]
+	if _, err := core.Open(members[0].kp, w); !errors.Is(err, core.ErrEnvelope) {
+		t.Fatalf("Open(slice) = %v, want ErrEnvelope", err)
+	}
+	if _, err := core.OpenGroup(members[0].kp, w, nil); !errors.Is(err, core.ErrEnvelope) {
+		t.Fatalf("OpenGroup(slice) = %v, want ErrEnvelope", err)
+	}
+	if _, err := core.OpenSlice(members[0].kp, d.Wire(), nil); !errors.Is(err, core.ErrEnvelope) {
+		t.Fatalf("OpenSlice(full wire) = %v, want ErrEnvelope", err)
+	}
+}
+
+// TestSliceTruncatedWireRejected: every proper prefix of a valid slice
+// wire must be rejected cleanly (no panic, no acceptance).
+func TestSliceTruncatedWireRejected(t *testing.T) {
+	sender, members, pubs := newSliceParties(t, 3)
+	d, err := core.SealGroupDetached(sender.kp, sender.id, "g", []byte("truncate me"), pubs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := d.Slices()[1]
+	for cut := 0; cut < len(w); cut++ {
+		if _, err := core.OpenSlice(members[1].kp, w[:cut], nil); err == nil {
+			t.Fatalf("truncated slice (%d/%d bytes) accepted", cut, len(w))
+		}
+	}
+}
+
+// TestSliceWireBytesScaleLinearly pins the whole point of slicing: the
+// full ModeGroup wire fanned to N recipients costs O(N^2) bytes on the
+// wire, slices cost O(N) (each slice is one wrap plus an O(log N)
+// proof). At N=100 the per-recipient bytes must be at least 10x smaller
+// than the full wire, and the slice overhead over N=10 must be only the
+// logarithmic proof growth.
+func TestSliceWireBytesScaleLinearly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates 100 RSA keys")
+	}
+	body := []byte("wire size probe")
+	sizes := map[int]int{} // n -> slice bytes for recipient 0
+	full := map[int]int{}
+	for _, n := range []int{10, 100} {
+		sender, _, pubs := newSliceParties(t, n)
+		d, err := core.SealGroupDetached(sender.kp, sender.id, "g", body, pubs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[n] = len(d.Slices()[0])
+		full[n] = len(d.Wire())
+	}
+	if sizes[100]*10 > full[100] {
+		t.Fatalf("slice %dB not <1/10 of full wire %dB at N=100", sizes[100], full[100])
+	}
+	// Growing the round 10x adds only proof hashes to a slice:
+	// ceil(log2(100))-ceil(log2(10)) = 3 more 32-byte hashes.
+	if grow := sizes[100] - sizes[10]; grow > 4*32 {
+		t.Fatalf("slice grew %dB from N=10 to N=100, want <=%d (log-proof only)", grow, 4*32)
+	}
+}

@@ -107,6 +107,16 @@ func (s *Service) UnregisterHandler(service string) {
 // when a destination is not directly reachable.
 func (s *Service) SetRelay(id keys.PeerID) { s.relay.Store(id) }
 
+// Reachable reports whether the destination peer is currently attached
+// to the fabric — the cheap pre-check the broker's store-and-forward
+// relay uses to route traffic into the offline queue instead of burning
+// a send on a departed peer. A true result is advisory (the peer can
+// detach between the check and the send); the send's own error remains
+// authoritative.
+func (s *Service) Reachable(to keys.PeerID) bool {
+	return s.net.Attached(NodeID(to))
+}
+
 // EnableRelaying makes this endpoint forward relay frames for others;
 // brokers enable it, clients do not.
 func (s *Service) EnableRelaying(on bool) { s.relaying.Store(on) }

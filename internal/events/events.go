@@ -31,6 +31,10 @@ const (
 	FileReceived     Type = "file-received"
 	TaskCompleted    Type = "task-completed"
 	SecurityAlert    Type = "security-alert"
+	// RelayFlushed is emitted by the broker's store-and-forward relay
+	// after draining a returning peer's queue; the "delivered" payload
+	// attribute carries the item count.
+	RelayFlushed Type = "relay-flushed"
 )
 
 // Event is one notification. Payload carries small string attributes;

@@ -1,0 +1,202 @@
+// Store-and-forward delivery end-to-end: a sender uploads ONE sealed
+// round to the broker relay while part of the group is logged out; the
+// online members receive sliced wires immediately, the offline members'
+// slices wait in bounded queues and drain — through the real presence
+// pipeline — when they log back in.
+package integration_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"jxtaoverlay/internal/broker"
+	"jxtaoverlay/internal/client"
+	"jxtaoverlay/internal/core"
+	"jxtaoverlay/internal/endpoint"
+	"jxtaoverlay/internal/events"
+	"jxtaoverlay/internal/keys"
+	"jxtaoverlay/internal/membership"
+	"jxtaoverlay/internal/proto"
+	"jxtaoverlay/internal/simnet"
+	"jxtaoverlay/internal/userdb"
+)
+
+func TestRelayedRoundSurvivesChurn(t *testing.T) {
+	const (
+		nPeers   = 9 // 1 sender + 8 recipients
+		nOffline = 3 // recipients logged out at send time
+	)
+	net := simnet.NewNetwork(simnet.LinkProfile{})
+	defer net.Close()
+
+	dep, err := core.NewDeployment("admin", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := userdb.NewStoreIter(16)
+	names := make([]string, nPeers)
+	for i := range names {
+		names[i] = "peer" + string(rune('a'+i))
+		// Two groups: the mislabeled-round check below needs an insider
+		// that legitimately belongs to both.
+		db.Register(names[i], "pw", "g", "g2")
+	}
+	brKP, _ := keys.NewKeyPair()
+	brCred, err := dep.IssueBrokerCredential(brKP.Public(), "relay-broker", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trust, _ := dep.TrustStore()
+	br, err := broker.New(broker.Config{
+		Name: "relay-broker", PeerID: brCred.Subject, Net: net,
+		DB: broker.AuthenticatorFunc(func(_ context.Context, u, p string) ([]string, error) {
+			return db.Authenticate(u, p)
+		}),
+		RequireSecureLogin: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer br.Close()
+	if _, err := core.EnableBrokerSecurity(br, core.BrokerConfig{
+		KeyPair: brKP, Credential: brCred, Trust: trust, RequireSignedAdvs: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rly := core.EnableBrokerRelay(br, core.RelayConfig{})
+	defer rly.Close()
+
+	clients := make([]*core.SecureClient, nPeers)
+	for i, name := range names {
+		cl, err := client.New(net, membership.NewPSE("", 0), name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(cl.Close)
+		clTrust, _ := dep.TrustStore()
+		sc, err := core.NewSecureClient(cl, clTrust)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := ctxT(t, 30*time.Second)
+		if err := sc.SecureConnection(ctx, br.PeerID()); err != nil {
+			t.Fatalf("%s secureConnection: %v", name, err)
+		}
+		if err := sc.SecureLogin(ctx, "pw"); err != nil {
+			t.Fatalf("%s secureLogin: %v", name, err)
+		}
+		clients[i] = sc
+	}
+	sender, online, offline := clients[0], clients[1:nPeers-nOffline], clients[nPeers-nOffline:]
+
+	collectors := make(map[*core.SecureClient]*events.Collector, nPeers-1)
+	for _, c := range clients[1:] {
+		collectors[c] = events.NewCollector(c.Bus())
+	}
+
+	// Part of the group leaves BEFORE the round is sent.
+	for _, c := range offline {
+		if err := c.Logout(ctxT(t, 10*time.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// One upload fans out to the full roster, present or not.
+	signsBefore := sender.Identity().Keys.SignCalls()
+	direct, queued, err := sender.SecureMsgPeerGroupRelay(ctxT(t, 30*time.Second), "g", "survives churn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sender.Identity().Keys.SignCalls() - signsBefore; got != 1 {
+		t.Fatalf("relayed round cost %d sender signatures, want exactly 1", got)
+	}
+	if direct != len(online) || queued != len(offline) {
+		t.Fatalf("direct=%d queued=%d, want %d/%d", direct, queued, len(online), len(offline))
+	}
+
+	// Online members get their slice now, authenticated end-to-end.
+	for _, c := range online {
+		e, ok := collectors[c].WaitFor(events.SecureMessage, 10*time.Second)
+		if !ok {
+			t.Fatalf("online member %s never received its slice", c.Username())
+		}
+		if string(e.Data) != "survives churn" || e.Payload["authenticated"] != "true" {
+			t.Fatalf("online member %s got %q (auth=%s)", c.Username(), e.Data, e.Payload["authenticated"])
+		}
+	}
+
+	// The offline members' queues hold exactly their slices.
+	if got := rly.QueuedTotal(); got != len(offline) {
+		t.Fatalf("relay holds %d queued slices, want %d", got, len(offline))
+	}
+
+	// They return; the login presence event drains each queue.
+	for _, c := range offline {
+		ctx := ctxT(t, 30*time.Second)
+		if err := c.SecureConnection(ctx, br.PeerID()); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.SecureLogin(ctx, "pw"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, c := range offline {
+		e, ok := collectors[c].WaitFor(events.SecureMessage, 10*time.Second)
+		if !ok {
+			t.Fatalf("returning member %s never received its queued slice", c.Username())
+		}
+		if string(e.Data) != "survives churn" || e.Payload["authenticated"] != "true" {
+			t.Fatalf("returning member %s got %q (auth=%s)", c.Username(), e.Data, e.Payload["authenticated"])
+		}
+		if e.Payload["mode"] != core.ModeSlice.String() {
+			t.Fatalf("returning member %s got mode %s, want %s", c.Username(), e.Payload["mode"], core.ModeSlice)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for rly.QueuedTotal() > 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := rly.QueuedTotal(); got != 0 {
+		t.Fatalf("relay still holds %d slices after everyone returned", got)
+	}
+	m := rly.Metrics()
+	if m.DeliveredDirect != uint64(len(online)) || m.DeliveredFlushed != uint64(len(offline)) {
+		t.Fatalf("metrics = %+v, want direct=%d flushed=%d", m, len(online), len(offline))
+	}
+
+	// A two-group insider mislabels a round: sealed (and signed) for
+	// group "g", uploaded under "g2". The broker cannot look inside the
+	// ciphertext, so it forwards — the recipient must refuse the
+	// cross-group delivery rather than surface it as "g2" traffic.
+	tgt := online[0]
+	d, err := core.SealGroupDetached(sender.Identity().Keys, sender.PeerID(), "g",
+		[]byte("mislabeled"), []*keys.PublicKey{tgt.Identity().Keys.Public()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sender.Call(ctxT(t, 10*time.Second), endpoint.NewMessage().
+		AddString(proto.ElemOp, proto.OpRelayRound).
+		AddString(proto.ElemGroup, "g2").
+		AddString(proto.ElemRecipients, string(tgt.PeerID())).
+		Add(proto.ElemEnvelope, d.Wire())); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := collectors[tgt].WaitFor(events.SecurityAlert, 10*time.Second)
+	if !ok {
+		t.Fatal("mislabeled round raised no security alert at the recipient")
+	}
+	if !strings.Contains(e.Payload["reason"], "wrong group") {
+		t.Fatalf("alert reason = %q, want wrong-group rejection", e.Payload["reason"])
+	}
+
+	// A closed relay must refuse further rounds outright — an OK response
+	// claiming slices were queued would be a lie the sender acts on.
+	rly.Close()
+	direct, queued, err = sender.SecureMsgPeerGroupRelay(ctxT(t, 30*time.Second), "g", "after close")
+	if !errors.Is(err, core.ErrRelayUnavailable) || direct != 0 || queued != 0 {
+		t.Fatalf("send after relay close: direct=%d queued=%d err=%v, want 0/0/ErrRelayUnavailable", direct, queued, err)
+	}
+}

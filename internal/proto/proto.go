@@ -61,6 +61,16 @@ const (
 	ElemTaskName = "task:name"
 	ElemTaskArgs = "task:args"
 	ElemTaskOut  = "task:out"
+
+	// Relay (store-and-forward round delivery) elements.
+	ElemRecipients  = "relay:rcpt"   // ordered recipient peer IDs, comma separated
+	ElemRelayDirect = "relay:direct" // slices delivered immediately
+	ElemRelayQueued = "relay:queued" // slices queued for offline peers
+	// slices not accepted: recipients resident at a federation partner,
+	// which this broker's queues can never flush (hand-off is future
+	// work — the partner owns their presence events)
+	ElemRelaySkipped = "relay:skipped"
+	ElemAll          = "all" // listPeers: include offline peers
 )
 
 // Broker operations (the Broker Module "functions" clients call).
@@ -79,11 +89,17 @@ const (
 	OpGroupLeave    = "groupLeave"
 	OpGroupList     = "groupList"
 	OpFileSearch    = "fileSearch"
+	// OpRelayRound uploads ONE sealed ModeGroup round for broker-side
+	// per-recipient slicing and store-and-forward delivery.
+	OpRelayRound = "relayRound"
 )
 
 // Client-side push operations (functions the broker invokes on clients).
 const (
 	OpAdvPush = "advPush"
+	// OpSliceDeliver pushes one per-recipient round slice cut by the
+	// broker relay (immediately, or from the offline queue at login).
+	OpSliceDeliver = "sliceDeliver"
 )
 
 // File/task operations.
@@ -133,4 +149,6 @@ const (
 	ErrBadCredential  = "bad-credential"
 	ErrCBIDMismatch   = "cbid-mismatch"
 	ErrUnsignedAdv    = "unsigned-advertisement"
+	ErrRelayOff       = "relay-not-enabled"
+	ErrBadRound       = "bad-round-wire"
 )

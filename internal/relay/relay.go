@@ -1,0 +1,402 @@
+// Package relay implements the broker-side store-and-forward delivery
+// subsystem: per-recipient wires (round slices cut by the broker from
+// one uploaded ModeGroup round) are delivered immediately to online
+// peers and queued — in bounded, TTL-expiring, per-peer FIFO queues —
+// for offline ones, then drained by sharded delivery workers when the
+// peer's presence comes back (login events on the events.Bus).
+//
+// The relay is deliberately ignorant of cryptography: payloads are
+// opaque bytes. Everything that makes a queued slice safe to hold at an
+// untrusted intermediary — the signed recipient binding, the body
+// digest, the single-use round nonce — lives inside the payload and is
+// enforced by the recipient (core.OpenSlice). A compromised relay can
+// drop or delay traffic; it cannot read, re-target or replay it (see
+// SECURITY.md, "Store-and-forward trust model").
+package relay
+
+import (
+	"hash/fnv"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jxtaoverlay/internal/advert"
+	"jxtaoverlay/internal/events"
+	"jxtaoverlay/internal/keys"
+)
+
+// Item is one undelivered payload addressed to one recipient.
+type Item struct {
+	// To is the recipient peer.
+	To keys.PeerID
+	// From is the originating peer (diagnostics; the authenticated
+	// sender is inside the payload).
+	From keys.PeerID
+	// Group is the overlay group the payload belongs to.
+	Group string
+	// Payload is the wire to hand to the recipient, opaque to the relay.
+	Payload []byte
+	// Expires is when the item stops being deliverable. The zero value
+	// means "now + Config.TTL", stamped at submission.
+	Expires time.Time
+}
+
+// DeliverFunc hands one item to its recipient. A non-nil error means
+// the recipient was not reached; the relay keeps (or re-queues) the
+// item until its TTL runs out.
+type DeliverFunc func(it Item) error
+
+// OnlineFunc reports whether a peer is currently reachable for direct
+// delivery.
+type OnlineFunc func(id keys.PeerID) bool
+
+// Config parameterizes a Relay.
+type Config struct {
+	// QueueCap bounds each peer's offline queue. On overflow the OLDEST
+	// item is dropped (and counted) — newer traffic is the traffic a
+	// returning peer still cares about. 0 = 64.
+	QueueCap int
+	// TTL is how long a queued item stays deliverable (0 = 2 minutes).
+	// Note the tension with the recipients' replay-guard freshness
+	// window: items held longer than that window would be rejected as
+	// stale on delivery anyway, so the TTL should not exceed it.
+	TTL time.Duration
+	// Shards is the number of queue shards, each with one delivery
+	// worker (0 = 8). Peers hash onto shards, so flushes for different
+	// peers proceed in parallel while one peer's queue always drains in
+	// order from a single worker.
+	Shards int
+	// Clock overrides the time source (tests).
+	Clock func() time.Time
+}
+
+// Metrics is a snapshot of the relay's counters.
+type Metrics struct {
+	// DeliveredDirect counts items handed to online recipients without
+	// queueing.
+	DeliveredDirect uint64
+	// DeliveredFlushed counts queued items delivered by a flush.
+	DeliveredFlushed uint64
+	// Enqueued counts items that entered an offline queue.
+	Enqueued uint64
+	// DroppedOverflow counts oldest-items dropped by full queues.
+	DroppedOverflow uint64
+	// Expired counts items whose TTL ran out before delivery.
+	Expired uint64
+	// DeliverErrors counts failed delivery attempts (the item is kept).
+	DeliverErrors uint64
+}
+
+// Relay is the store-and-forward subsystem of one broker.
+type Relay struct {
+	cfg     Config
+	deliver DeliverFunc
+	online  OnlineFunc
+
+	shards []*shard
+	wg     sync.WaitGroup
+	stop   chan struct{}
+	closed atomic.Bool
+
+	bus       *events.Bus // optional, set by BindBus; emits RelayFlushed
+	busCancel func()      // unsubscribes from the bus; called by Close
+
+	deliveredDirect  atomic.Uint64
+	deliveredFlushed atomic.Uint64
+	enqueued         atomic.Uint64
+	droppedOverflow  atomic.Uint64
+	expired          atomic.Uint64
+	deliverErrors    atomic.Uint64
+}
+
+type shard struct {
+	r       *Relay
+	mu      sync.Mutex
+	queues  map[keys.PeerID][]Item
+	flushCh chan keys.PeerID
+}
+
+// New starts a relay. online gates direct delivery; deliver performs
+// it. Both must be safe for concurrent use.
+func New(cfg Config, online OnlineFunc, deliver DeliverFunc) *Relay {
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 64
+	}
+	if cfg.TTL <= 0 {
+		cfg.TTL = 2 * time.Minute
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 8
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	r := &Relay{
+		cfg:     cfg,
+		deliver: deliver,
+		online:  online,
+		stop:    make(chan struct{}),
+	}
+	r.shards = make([]*shard, cfg.Shards)
+	for i := range r.shards {
+		s := &shard{r: r, queues: make(map[keys.PeerID][]Item), flushCh: make(chan keys.PeerID, 256)}
+		r.shards[i] = s
+		r.wg.Add(1)
+		go s.work()
+	}
+	return r
+}
+
+// BindBus subscribes the relay to presence events so a peer's queue is
+// drained the moment it logs (back) in, and lets the relay announce
+// completed drains as events.RelayFlushed. It returns the unsubscribe
+// function; Close also unsubscribes, so a bus-bound relay does not
+// outlive its shutdown as a dead subscriber.
+func (r *Relay) BindBus(bus *events.Bus) (cancel func()) {
+	r.bus = bus
+	cancel = bus.Subscribe(events.PresenceUpdate, func(e events.Event) {
+		if e.Attr("status") == advert.StatusOnline {
+			r.Flush(e.From)
+		}
+	})
+	r.busCancel = cancel
+	return cancel
+}
+
+func (r *Relay) shardOf(id keys.PeerID) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return r.shards[int(h.Sum32())%len(r.shards)]
+}
+
+// SubmitResult reports the disposition of one submitted item.
+type SubmitResult int
+
+const (
+	// SubmitDropped means the relay is closed and the item was
+	// discarded — it was neither delivered nor stored.
+	SubmitDropped SubmitResult = iota
+	// SubmitDirect means the item was handed to its online recipient
+	// immediately.
+	SubmitDirect
+	// SubmitQueued means the item was stored for delivery at the
+	// recipient's next login (or the armed retry).
+	SubmitQueued
+)
+
+// Submit routes one item: direct delivery when the recipient is online
+// (falling back to the queue when the send fails under it), the
+// bounded queue otherwise. Callers must not report SubmitDropped items
+// as pending — nothing will ever deliver them.
+func (r *Relay) Submit(it Item) SubmitResult {
+	if r.closed.Load() {
+		return SubmitDropped
+	}
+	if it.Expires.IsZero() {
+		it.Expires = r.cfg.Clock().Add(r.cfg.TTL)
+	}
+	if r.online(it.To) {
+		if err := r.deliver(it); err == nil {
+			r.deliveredDirect.Add(1)
+			// A direct success proves the peer reachable: drain any
+			// stragglers an earlier failed flush put back in its queue,
+			// so they don't sit until TTL while new traffic flows past.
+			r.Flush(it.To)
+			return SubmitDirect
+		}
+		r.deliverErrors.Add(1)
+	}
+	s := r.shardOf(it.To)
+	s.enqueue(it)
+	// Close raced the enqueue: the workers are (or are about to be)
+	// gone and nothing will drain this item, so don't report it queued.
+	if r.closed.Load() {
+		return SubmitDropped
+	}
+	// Close the enqueue-vs-login race: if the peer came online between
+	// the check above and the enqueue, its login flush may already have
+	// run and missed this item — re-trigger. Either the enqueue
+	// happened before the flush drained (item delivered there) or this
+	// flush sees it; no ordering loses the item.
+	if r.online(it.To) {
+		r.Flush(it.To)
+	}
+	return SubmitQueued
+}
+
+// retryDelay spaces the re-drain attempts armed after a delivery
+// failure against a peer that is still online.
+const retryDelay = 250 * time.Millisecond
+
+// retryFlush re-drains a peer's queue after a short delay. Firing after
+// Close is harmless: Flush no-ops on a closed relay.
+func (r *Relay) retryFlush(id keys.PeerID) {
+	time.AfterFunc(retryDelay, func() { r.Flush(id) })
+}
+
+// Flush schedules an asynchronous drain of the peer's queue on its
+// shard worker. Draining attempts delivery in FIFO order and stops at
+// the first failure (the peer went away again); expired items are
+// discarded.
+func (r *Relay) Flush(id keys.PeerID) {
+	if r.closed.Load() {
+		return
+	}
+	s := r.shardOf(id)
+	s.mu.Lock()
+	pending := len(s.queues[id]) > 0
+	s.mu.Unlock()
+	if !pending {
+		return
+	}
+	select {
+	case s.flushCh <- id:
+	default:
+		// Worker backlog: hand off without blocking the caller (which
+		// may be the broker's login path).
+		go func() {
+			select {
+			case s.flushCh <- id:
+			case <-r.stop:
+			}
+		}()
+	}
+}
+
+// QueueLen reports how many items are queued for a peer (expired items
+// included until their lazy removal).
+func (r *Relay) QueueLen(id keys.PeerID) int {
+	s := r.shardOf(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queues[id])
+}
+
+// QueuedTotal reports the total queued items across all peers.
+func (r *Relay) QueuedTotal() int {
+	total := 0
+	for _, s := range r.shards {
+		s.mu.Lock()
+		for _, q := range s.queues {
+			total += len(q)
+		}
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// Metrics returns a snapshot of the counters.
+func (r *Relay) Metrics() Metrics {
+	return Metrics{
+		DeliveredDirect:  r.deliveredDirect.Load(),
+		DeliveredFlushed: r.deliveredFlushed.Load(),
+		Enqueued:         r.enqueued.Load(),
+		DroppedOverflow:  r.droppedOverflow.Load(),
+		Expired:          r.expired.Load(),
+		DeliverErrors:    r.deliverErrors.Load(),
+	}
+}
+
+// Close stops the delivery workers. Queued items are abandoned.
+func (r *Relay) Close() {
+	if r.closed.Swap(true) {
+		return
+	}
+	if r.busCancel != nil {
+		r.busCancel()
+	}
+	close(r.stop)
+	r.wg.Wait()
+}
+
+func (s *shard) enqueue(it Item) {
+	now := s.r.cfg.Clock()
+	s.mu.Lock()
+	q := s.pruneLocked(it.To, now)
+	if len(q) >= s.r.cfg.QueueCap {
+		// Drop-oldest: the front of the FIFO is the stalest traffic.
+		drop := len(q) - s.r.cfg.QueueCap + 1
+		q = append(q[:0], q[drop:]...)
+		s.r.droppedOverflow.Add(uint64(drop))
+	}
+	s.queues[it.To] = append(q, it)
+	s.mu.Unlock()
+	s.r.enqueued.Add(1)
+}
+
+// pruneLocked removes expired items wherever they sit in the peer's
+// queue (items submitted with caller-set TTLs need not expire in FIFO
+// order) and returns the surviving queue. Caller holds s.mu.
+func (s *shard) pruneLocked(id keys.PeerID, now time.Time) []Item {
+	q := s.queues[id]
+	kept := q[:0]
+	for _, it := range q {
+		if now.After(it.Expires) {
+			s.r.expired.Add(1)
+			continue
+		}
+		kept = append(kept, it)
+	}
+	if len(kept) == 0 && q != nil {
+		delete(s.queues, id)
+		return nil
+	}
+	s.queues[id] = kept
+	return kept
+}
+
+func (s *shard) work() {
+	defer s.r.wg.Done()
+	for {
+		select {
+		case <-s.r.stop:
+			return
+		case id := <-s.flushCh:
+			s.drain(id)
+		}
+	}
+}
+
+// drain delivers the peer's queue in order: pop the front under the
+// lock, deliver outside it (delivery does wire I/O), push back at the
+// front and stop on failure.
+func (s *shard) drain(id keys.PeerID) {
+	flushed := 0
+	for {
+		now := s.r.cfg.Clock()
+		s.mu.Lock()
+		q := s.pruneLocked(id, now)
+		if len(q) == 0 {
+			s.mu.Unlock()
+			break
+		}
+		it := q[0]
+		s.queues[id] = q[1:]
+		s.mu.Unlock()
+
+		if err := s.r.deliver(it); err != nil {
+			s.r.deliverErrors.Add(1)
+			// Put the item back where it was. Usually the peer went away
+			// again and the next presence event re-triggers the drain —
+			// but a TRANSIENT failure against a still-online peer has no
+			// such trigger, so arm a delayed retry; it re-enters this
+			// path (re-arming) until delivery succeeds, the peer drops
+			// offline, or the items expire.
+			s.mu.Lock()
+			s.queues[id] = append([]Item{it}, s.queues[id]...)
+			s.mu.Unlock()
+			if s.r.online(id) {
+				s.r.retryFlush(id)
+			}
+			break
+		}
+		s.r.deliveredFlushed.Add(1)
+		flushed++
+	}
+	if flushed > 0 && s.r.bus != nil {
+		s.r.bus.Emit(events.Event{Type: events.RelayFlushed, From: id, Payload: map[string]string{
+			"delivered": strconv.Itoa(flushed),
+		}})
+	}
+}

@@ -24,6 +24,14 @@
 # signature, a machine-speed canary untouched by the gated
 # optimizations — so a committed baseline survives runner hardware
 # churn while an injected slowdown of a gated path still fails.
+#
+# The same two paths are additionally gated on allocs_per_op
+# (BENCH_ALLOC_TOLERANCE percent, default 10), compared ABSOLUTELY —
+# allocation counts do not scale with machine speed, so this gate
+# catches the blind spot of canary normalization: a regression that
+# slows the RSA canary and the gated paths proportionally (e.g. a
+# slower runner class masking a real slowdown, or an added allocation
+# on a path whose ns cost drowns in RSA time).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -54,23 +62,26 @@ if [ -z "$current" ]; then
 fi
 [ -r "$current" ] || { echo "bench_compare: unreadable current $current" >&2; exit 2; }
 
-# ns_of FILE NAME — extract ns_per_op for one benchmark. Prefer jq (any
-# valid JSON); fall back to line-based extraction for bench.sh's
-# one-object-per-line layout when jq is unavailable.
+# metric_of FILE NAME FIELD — extract one numeric field for one
+# benchmark. Prefer jq (any valid JSON); fall back to line-based
+# extraction for bench.sh's one-object-per-line layout when jq is
+# unavailable.
 if command -v jq >/dev/null 2>&1; then
-    ns_of() {
-        jq -r --arg n "$2" \
-            '[.benchmarks[] | select(.name == $n) | .ns_per_op][0] // empty' "$1"
+    metric_of() {
+        jq -r --arg n "$2" --arg f "$3" \
+            '[.benchmarks[] | select(.name == $n) | .[$f]][0] // empty' "$1"
     }
 else
-    ns_of() {
+    metric_of() {
         # `|| true` keeps a missing metric an *empty* result instead of
         # letting grep's exit status abort the script under set -e; the
         # callers report missing metrics themselves.
         { grep -F "\"name\": \"$2\"" "$1" || true; } |
-            sed -n 's/.*"ns_per_op": \([0-9.e+-]*\).*/\1/p' | head -n 1
+            sed -n "s/.*\"$3\": \([0-9.e+-]*\).*/\1/p" | head -n 1
     }
 fi
+ns_of() { metric_of "$1" "$2" ns_per_op; }
+allocs_of() { metric_of "$1" "$2" allocs_per_op; }
 
 fail=0
 baseNorm=1
@@ -109,11 +120,37 @@ gate() {
     }' || fail=1
 }
 
+# gate_allocs NAME DIVISOR LABEL — absolute allocs/op comparison; never
+# normalized (see header). Alloc counts are integers, so the percentage
+# tolerance doubles as an absolute one on lean paths: a single injected
+# allocation on a 2-alloc/op path is +50% and fails.
+alloc_tolerance="${BENCH_ALLOC_TOLERANCE:-10}"
+gate_allocs() {
+    local name="$1" div="$2" label="$3" base cur
+    base=$(allocs_of "$baseline" "$name")
+    cur=$(allocs_of "$current" "$name")
+    if [ -z "$base" ] || [ -z "$cur" ]; then
+        echo "bench_compare: allocs_per_op for $name missing from snapshot" >&2
+        fail=1
+        return
+    fi
+    awk -v base="$base" -v cur="$cur" -v div="$div" -v tol="$alloc_tolerance" -v label="$label" '
+    BEGIN {
+        base /= div; cur /= div
+        delta = (base > 0) ? (cur - base) / base * 100 : (cur > 0 ? 100 : 0)
+        status = (delta > tol) ? "FAIL" : "ok"
+        printf "%-42s %14.4g %14.4g %+8.1f%% %s\n", label, base, cur, delta, status
+        exit (delta > tol) ? 1 : 0
+    }' || fail=1
+}
+
 gate "BenchmarkVerifyTrusted/warm" 1 "VerifyTrusted/warm"
 gate "BenchmarkFanOutSecure/recipients100" 100 "FanOutSecure per-recipient (N=100)"
+gate_allocs "BenchmarkVerifyTrusted/warm" 1 "VerifyTrusted/warm allocs"
+gate_allocs "BenchmarkFanOutSecure/recipients100" 100 "FanOutSecure per-recipient allocs (N=100)"
 
 if [ "$fail" -ne 0 ]; then
-    echo "bench_compare: REGRESSION — a gated metric slowed >${tolerance}% vs $baseline" >&2
+    echo "bench_compare: REGRESSION — a gated metric regressed (>${tolerance}% ns or >${alloc_tolerance}% allocs) vs $baseline" >&2
     exit 1
 fi
 echo "bench_compare: within tolerance"
