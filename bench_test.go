@@ -594,6 +594,37 @@ func BenchmarkSignedAdvertisement(b *testing.B) {
 			}
 		}
 	})
+	// The broker's actual ingest unit of work: wire bytes → parse →
+	// full trusted verification. "fastpath" parses with ParseCanonical
+	// (memo-seeded, so the verification serializations are pointer
+	// reads); "reference" is the pre-overhaul encoding/xml path.
+	raw := append([]byte(nil), doc.Canonical()...)
+	b.Run("receive-fastpath", func(b *testing.B) {
+		now := time.Now()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			parsed, err := xmldoc.ParseCanonical(raw)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := xdsig.VerifyTrusted(parsed, trust, now); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("receive-reference", func(b *testing.B) {
+		now := time.Now()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			parsed, err := xmldoc.ParseBytes(raw)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := xdsig.VerifyTrusted(parsed, trust, now); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // --- P4/P5: broker relay — wire bytes and store-and-forward delivery ---
@@ -662,6 +693,98 @@ func BenchmarkRelayWireBytes(b *testing.B) {
 			// Client-side fan-out cost: every member gets the full wire.
 			b.ReportMetric(float64(len(upload)), "fullwireB/rcpt")
 		})
+	}
+}
+
+// --- P6: receive-path parse and end-to-end slice open ---
+//
+// Every inbound wire funnels through one XML parse. P6 measures the
+// cold parse of a signed-advertisement-shaped document on the fast path
+// (xmldoc.ParseCanonical: zero-copy lexer + slab allocation + memo
+// seeding) against the encoding/xml reference path, the memo-seeded
+// parse→Canonical round (the verification serialization that the
+// seeding turns into a pointer read), and the full receive cost of one
+// relayed round slice (decrypt + parse + bindings + signature).
+
+func BenchmarkParseCold(b *testing.B) {
+	raw := append([]byte(nil), canonBenchTree().Canonical()...)
+	b.Run("canonical", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(raw)))
+		for i := 0; i < b.N; i++ {
+			if _, err := xmldoc.ParseCanonical(raw); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("encodingxml", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(raw)))
+		for i := 0; i < b.N; i++ {
+			if _, err := xmldoc.ParseBytes(raw); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkParseCanonical(b *testing.B) {
+	// Parse already-canonical input, then read the canonical bytes back —
+	// the exact sequence the verification paths run. The memo seeding
+	// makes the Canonical() call a pointer read returning the input
+	// subslice; the benchmark asserts that, so a regression to
+	// re-serialization fails loudly rather than just slowing down.
+	raw := append([]byte(nil), canonBenchTree().Canonical()...)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(raw)))
+	for i := 0; i < b.N; i++ {
+		doc, err := xmldoc.ParseCanonical(raw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		got := doc.Canonical()
+		if &got[0] != &raw[0] {
+			b.Fatal("canonical memo not seeded from input")
+		}
+	}
+}
+
+func BenchmarkOpenSlice(b *testing.B) {
+	// One recipient's full receive path for a 100-member relayed round:
+	// unwrap the CEK, AEAD-open, parse the signed header (fast path,
+	// memo-seeded), check body digest + Merkle slice binding, verify the
+	// header signature over the seeded serialization.
+	sender, err := keys.NewKeyPair()
+	if err != nil {
+		b.Fatal(err)
+	}
+	senderID, err := keys.CBID(sender.Public())
+	if err != nil {
+		b.Fatal(err)
+	}
+	recv, err := keys.NewKeyPair()
+	if err != nil {
+		b.Fatal(err)
+	}
+	recipients := make([]*keys.PublicKey, 100)
+	for i := range recipients {
+		recipients[i] = recv.Public()
+	}
+	d, err := core.SealGroupDetached(sender, senderID, "bench", []byte(benchPayload(1024)), recipients)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wire := d.Slice(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o, err := core.OpenSlice(recv, wire, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := o.VerifySignature(sender.Public()); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -369,7 +369,11 @@ func (b *Broker) handlePublishAdv(from keys.PeerID, msg *endpoint.Message) *endp
 	if !ok {
 		return proto.Fail(proto.ErrBadRequest)
 	}
-	doc, err := xmldoc.ParseBytes(raw)
+	// Published advertisements must be canonical wire bytes — peers
+	// serialize with Canonical() — so the hardened fast-path parser is
+	// both the cheap and the strict choice at this, the broker's most
+	// exposed ingest surface.
+	doc, err := xmldoc.ParseCanonical(raw)
 	if err != nil {
 		return proto.Fail(proto.ErrBadRequest)
 	}

@@ -132,7 +132,7 @@ func (b *Broker) handleFedAdv(from keys.PeerID, msg *endpoint.Message) *endpoint
 	if !ok {
 		return nil
 	}
-	doc, err := xmldoc.ParseBytes(raw)
+	doc, err := xmldoc.ParseCanonical(raw)
 	if err != nil {
 		return nil
 	}

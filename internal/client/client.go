@@ -424,7 +424,7 @@ func (c *Client) cacheAdvResponse(resp *endpoint.Message) (advert.Advertisement,
 	if !ok {
 		return nil, nil, ErrNoPipe
 	}
-	doc, err := xmldoc.ParseBytes(raw)
+	doc, err := xmldoc.ParseCanonical(raw)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -604,7 +604,7 @@ func (c *Client) onBrokerPush(from keys.PeerID, msg *endpoint.Message) *endpoint
 	if !ok {
 		return nil
 	}
-	doc, err := xmldoc.ParseBytes(raw)
+	doc, err := xmldoc.ParseCanonical(raw)
 	if err != nil {
 		return nil
 	}

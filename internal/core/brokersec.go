@@ -187,7 +187,7 @@ func (bs *BrokerSecurity) handleSecureLogin(from keys.PeerID, msg *endpoint.Mess
 	if err != nil {
 		return proto.Fail(proto.ErrBadRequest)
 	}
-	doc, err := xmldoc.ParseBytes(body)
+	doc, err := xmldoc.ParseCanonical(body)
 	if err != nil || doc.Name != "SecureLoginRequest" {
 		return proto.Fail(proto.ErrBadRequest)
 	}

@@ -115,7 +115,13 @@ func unpackBlock(block []byte, name string) (*xmldoc.Element, []byte, error) {
 	if hlen < 0 || len(block)-4 < hlen {
 		return nil, nil, ErrEnvelope
 	}
-	header, err := xmldoc.ParseBytes(block[4 : 4+hlen])
+	// Fast-path parse: headers are canonical bytes produced by the peer's
+	// packBlock, so the parsed tree's canonical memos are seeded straight
+	// from the wire — the CanonicalSkip/Canonical calls inside signature
+	// verification become pointer reads. A header outside the canonical
+	// subset is malformed by protocol definition. The tree aliases block,
+	// which this receive path owns and never mutates.
+	header, err := xmldoc.ParseCanonical(block[4 : 4+hlen])
 	if err != nil || header.Name != name {
 		return nil, nil, ErrEnvelope
 	}

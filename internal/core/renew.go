@@ -80,7 +80,7 @@ func (s *SecureClient) SecureRenewCredential(ctx context.Context) error {
 	if !ok {
 		return ErrRenewRejected
 	}
-	credDoc, err := xmldoc.ParseBytes(credRaw)
+	credDoc, err := xmldoc.ParseCanonical(credRaw)
 	if err != nil {
 		return ErrRenewRejected
 	}
@@ -119,7 +119,7 @@ func (bs *BrokerSecurity) handleSecureRenew(from keys.PeerID, msg *endpoint.Mess
 	if !ok {
 		return proto.Fail(proto.ErrBadRequest)
 	}
-	doc, err := xmldoc.ParseBytes(body)
+	doc, err := xmldoc.ParseCanonical(body)
 	if err != nil || doc.Name != "SecureRenewRequest" {
 		return proto.Fail(proto.ErrBadRequest)
 	}

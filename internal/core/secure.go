@@ -158,7 +158,7 @@ func (s *SecureClient) SecureConnection(ctx context.Context, brokerID keys.PeerI
 		s.reject(brokerID, "incomplete secure connection response")
 		return ErrBrokerNotLegit
 	}
-	credDoc, err := xmldoc.ParseBytes(credRaw)
+	credDoc, err := xmldoc.ParseCanonical(credRaw)
 	if err != nil {
 		s.reject(brokerID, "malformed broker credential")
 		return ErrBrokerNotLegit
@@ -256,7 +256,7 @@ func (s *SecureClient) SecureLogin(ctx context.Context, password string) error {
 	if !ok {
 		return ErrLoginRejected
 	}
-	credDoc, err := xmldoc.ParseBytes(credRaw)
+	credDoc, err := xmldoc.ParseCanonical(credRaw)
 	if err != nil {
 		return ErrLoginRejected
 	}

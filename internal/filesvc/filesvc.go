@@ -131,7 +131,7 @@ func (s *Service) Search(ctx context.Context, keyword, group string) ([]Result, 
 		if el.Name != proto.ElemAdv {
 			continue
 		}
-		doc, err := xmldoc.ParseBytes(el.Data)
+		doc, err := xmldoc.ParseCanonical(el.Data)
 		if err != nil {
 			continue
 		}

@@ -114,7 +114,7 @@ func (s *Server) process(msg *endpoint.Message) (*response, error) {
 	}
 
 	// 1. Authenticate the caller: administrator-issued broker credential.
-	credDoc, err := xmldoc.ParseBytes(credBytes)
+	credDoc, err := xmldoc.ParseCanonical(credBytes)
 	if err != nil {
 		return nil, ErrProtocol
 	}
@@ -218,7 +218,7 @@ func (s *Server) marshalResponse(r *response) (*endpoint.Message, error) {
 }
 
 func parseRequest(body []byte) (*request, error) {
-	doc, err := xmldoc.ParseBytes(body)
+	doc, err := xmldoc.ParseCanonical(body)
 	if err != nil || doc.Name != "DBRequest" {
 		return nil, ErrProtocol
 	}
@@ -317,7 +317,7 @@ func (c *Client) parseResponse(msg *endpoint.Message, wantNonce string) ([]strin
 	if err := c.serverCred.Key.Verify(body, sig); err != nil {
 		return nil, ErrServerAuth
 	}
-	doc, err := xmldoc.ParseBytes(body)
+	doc, err := xmldoc.ParseCanonical(body)
 	if err != nil || doc.Name != "DBResponse" {
 		return nil, ErrProtocol
 	}

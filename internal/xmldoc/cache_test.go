@@ -158,12 +158,23 @@ func TestAddReparentMovesChild(t *testing.T) {
 // TestPropertyCacheInvalidation applies random mutation sequences
 // through the mutator API, interleaved with Canonical calls that
 // populate memos at every level, and checks the canonical bytes against
-// the reference serializer after each step.
+// the reference serializer after each step. Every other round the tree
+// comes from ParseCanonical, so the memos under mutation are the
+// parse-time SEEDED ones (input subslices), not computed ones — a
+// mutator that failed to invalidate a seeded memo would serve stale
+// wire bytes as signing input.
 func TestPropertyCacheInvalidation(t *testing.T) {
 	r := rand.New(rand.NewSource(7))
 	names := []string{"A", "B", "C", "D"}
 	for round := 0; round < 50; round++ {
 		root := randomTree(r, 3)
+		if round%2 == 1 {
+			parsed, err := ParseCanonical(append([]byte(nil), root.Canonical()...))
+			if err != nil {
+				t.Fatalf("round %d: ParseCanonical of canonical bytes: %v", round, err)
+			}
+			root = parsed
+		}
 		nodes := collect(root)
 		for step := 0; step < 30; step++ {
 			// Populate memos on a random subset before mutating.

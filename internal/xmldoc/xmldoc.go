@@ -13,6 +13,7 @@
 package xmldoc
 
 import (
+	"bytes"
 	"encoding/xml"
 	"errors"
 	"fmt"
@@ -350,9 +351,13 @@ func Parse(r io.Reader) (*Element, error) {
 	return root, nil
 }
 
-// ParseBytes is Parse over a byte slice.
+// ParseBytes is Parse over a byte slice. It reads data in place (no
+// whole-input copy); like Parse it rides encoding/xml and accepts
+// arbitrary well-formed XML. Wire receive paths should prefer
+// ParseCanonical, which parses the canonical subset those surfaces
+// actually exchange several times faster.
 func ParseBytes(data []byte) (*Element, error) {
-	return Parse(strings.NewReader(string(data)))
+	return Parse(bytes.NewReader(data))
 }
 
 // RoundTrip canonicalizes and re-parses the tree; it is used by tests to

@@ -16,6 +16,10 @@
 #   - BenchmarkVerifyTrusted/warm           ns/op (cache-hit verification)
 #   - BenchmarkFanOutSecure/recipients100   ns/op / 100 (per-recipient
 #     cost of a 100-member secure fan-out round)
+#   - BenchmarkParseCold/canonical          ns/op (receive-side parse of
+#     a signed advertisement via the canonical fast path)
+#   - BenchmarkOpenSlice                    ns/op (full receive of one
+#     relayed round slice: unwrap + AEAD + parse + bindings + verify)
 #
 # By default the thresholds compare absolute ns/op, which requires
 # baseline and current runs to come from the same machine class. Set
@@ -57,7 +61,7 @@ if [ -z "$current" ]; then
     current=$(mktemp --suffix=.json)
     trap 'rm -f "$current"' EXIT
     echo "bench_compare: running gated benchmarks (baseline: $baseline)"
-    BENCH="${BENCH:-BenchmarkVerifyTrusted|BenchmarkFanOutSecure|BenchmarkSignedAdvertisement}" \
+    BENCH="${BENCH:-BenchmarkVerifyTrusted|BenchmarkFanOutSecure|BenchmarkSignedAdvertisement|BenchmarkParseCold|BenchmarkOpenSlice}" \
         BENCHTIME="${BENCHTIME:-1s}" BENCH_OUT="$current" ./scripts/bench.sh >/dev/null
 fi
 [ -r "$current" ] || { echo "bench_compare: unreadable current $current" >&2; exit 2; }
@@ -146,8 +150,12 @@ gate_allocs() {
 
 gate "BenchmarkVerifyTrusted/warm" 1 "VerifyTrusted/warm"
 gate "BenchmarkFanOutSecure/recipients100" 100 "FanOutSecure per-recipient (N=100)"
+gate "BenchmarkParseCold/canonical" 1 "ParseCold fast path"
+gate "BenchmarkOpenSlice" 1 "OpenSlice receive"
 gate_allocs "BenchmarkVerifyTrusted/warm" 1 "VerifyTrusted/warm allocs"
 gate_allocs "BenchmarkFanOutSecure/recipients100" 100 "FanOutSecure per-recipient allocs (N=100)"
+gate_allocs "BenchmarkParseCold/canonical" 1 "ParseCold fast path allocs"
+gate_allocs "BenchmarkOpenSlice" 1 "OpenSlice receive allocs"
 
 if [ "$fail" -ne 0 ]; then
     echo "bench_compare: REGRESSION — a gated metric regressed (>${tolerance}% ns or >${alloc_tolerance}% allocs) vs $baseline" >&2
