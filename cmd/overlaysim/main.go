@@ -6,13 +6,16 @@
 //
 // Usage:
 //
-//	overlaysim [-clients 6] [-secure] [-profile lan] [-messages 3] [-churn] [-v]
+//	overlaysim [-clients 6] [-secure] [-profile lan] [-messages 3] [-churn] [-restart] [-v]
 //
 // With -churn (requires -secure) a third of the peers log out before
 // the group chatter, each round is uploaded ONCE to the broker's
 // store-and-forward relay, and the departed peers log back in at the
 // end to drain their queued slices — the offline-delivery path the
-// original client-side fan-out silently dropped.
+// original client-side fan-out silently dropped. With -restart the
+// relay additionally runs on a durable WAL and is torn down and
+// recovered mid-churn, while the queues are full, before the departed
+// peers return — the crash-recovery path end to end.
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -42,17 +46,21 @@ func main() {
 	profileName := flag.String("profile", "lan", "link profile: local, lan, wan")
 	messages := flag.Int("messages", 3, "group messages per client")
 	churn := flag.Bool("churn", false, "take a third of the peers offline mid-run; deliver via the broker relay queues (requires -secure)")
+	restart := flag.Bool("restart", false, "run the relay on a durable WAL and restart it mid-churn: queued slices must survive into the recovered queues (requires -churn)")
 	verbose := flag.Bool("v", false, "log every event")
 	flag.Parse()
 
-	if err := run(*nClients, *secure, *profileName, *messages, *churn, *verbose); err != nil {
+	if err := run(*nClients, *secure, *profileName, *messages, *churn, *restart, *verbose); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(nClients int, secure bool, profileName string, messages int, churn, verbose bool) error {
+func run(nClients int, secure bool, profileName string, messages int, churn, restart, verbose bool) error {
 	if churn && !secure {
 		return fmt.Errorf("-churn demonstrates relayed secure rounds; run with -secure")
+	}
+	if restart && !churn {
+		return fmt.Errorf("-restart demonstrates crash recovery of queued slices; run with -churn")
 	}
 	profile, err := bench.ProfileByName(profileName)
 	if err != nil {
@@ -106,8 +114,21 @@ func run(nClients int, secure bool, profileName string, messages int, churn, ver
 	}); err != nil {
 		return err
 	}
-	rly := core.EnableBrokerRelay(br, core.RelayConfig{})
-	defer rly.Close()
+	relayCfg := core.RelayConfig{}
+	if restart {
+		walDir, err := os.MkdirTemp("", "overlaysim-wal-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(walDir)
+		relayCfg.WAL.Dir = walDir
+		relayCfg.WAL.SyncInterval = 2 * time.Millisecond
+	}
+	rly, err := core.EnableBrokerRelay(br, relayCfg)
+	if err != nil {
+		return err
+	}
+	defer func() { rly.Close() }()
 	fmt.Printf("broker %q up (secure=%v, profile=%s, churn=%v)\n", br.Name(), secure, profileName, churn)
 
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
@@ -246,6 +267,24 @@ func run(nClients int, secure bool, profileName string, messages int, churn, ver
 	// events, and the relay's shard workers drain each queue in order.
 	if churn {
 		fmt.Printf("relay:   %d slices delivered directly, %d queued for offline peers\n", relayDirect, relayQueued)
+		// With -restart the relay "crashes" here, while the churned
+		// peers' slices sit in its queues: close it, then bring up a
+		// fresh relay on the same WAL directory. Recovery must rebuild
+		// the queues — delivery below proceeds from the recovered state.
+		if restart {
+			queuedBefore := rly.QueuedTotal()
+			rly.Close()
+			rly, err = core.EnableBrokerRelay(br, relayCfg)
+			if err != nil {
+				return fmt.Errorf("relay restart: %w", err)
+			}
+			m := rly.Metrics()
+			fmt.Printf("restart: relay recovered %d of %d queued slices (%d expired while down, %d already acked)\n",
+				m.RecoveryReplayed, queuedBefore, m.RecoveryDiscardedTTL, m.RecoveryDiscardedGuard)
+			if int(m.RecoveryReplayed) != queuedBefore {
+				return fmt.Errorf("recovery lost slices: had %d queued, recovered %d", queuedBefore, m.RecoveryReplayed)
+			}
+		}
 		for _, i := range churned {
 			sc := peersList[i].secure
 			if err := sc.SecureConnection(ctx, br.PeerID()); err != nil {

@@ -111,11 +111,14 @@ func TestSliceReplayAfterFlushRejected(t *testing.T) {
 	guard := core.NewReplayGuard(time.Minute, 64)
 	var online atomic.Bool
 	drained := make(chan []byte, 4)
-	r := relay.New(relay.Config{}, func(keys.PeerID) bool { return online.Load() },
+	r, err := relay.New(relay.Config{}, func(keys.PeerID) bool { return online.Load() },
 		func(it relay.Item) error {
 			drained <- it.Payload
 			return nil
 		})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer r.Close()
 
 	// Queued while bob is offline, drained when he returns.

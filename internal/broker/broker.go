@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -249,12 +250,28 @@ func (b *Broker) RegisterPeer(id keys.PeerID, username string, groups []string) 
 }
 
 func (b *Broker) registerPeer(id keys.PeerID, username string, groups []string, origin keys.PeerID) {
-	now := time.Now()
+	b.registerPeerAt(id, username, groups, origin, time.Now())
+}
+
+// registerPeerAt records a session that began at the given time. The
+// timestamp makes presence migration monotonic: federation partners
+// deliver peer-up/peer-down messages with no ordering guarantee, so a
+// stale announcement from a peer's PREVIOUS session can arrive after
+// the peer already re-registered (here, or at another broker). Such an
+// update must not clobber the newer record — a relay hand-off routed on
+// the clobbered record would queue for a peer that is in fact logged in
+// locally. Local logins always pass the guard (their session starts
+// now, which is never older than what is recorded).
+func (b *Broker) registerPeerAt(id keys.PeerID, username string, groups []string, origin keys.PeerID, session time.Time) {
 	b.mu.Lock()
+	if old, ok := b.peers[id]; ok && old.ConnectedAt.After(session) {
+		b.mu.Unlock()
+		return
+	}
 	info := &PeerInfo{
 		ID: id, Username: username,
 		Groups: append([]string(nil), groups...),
-		Online: true, ConnectedAt: now, LastSeen: now,
+		Online: true, ConnectedAt: session, LastSeen: session,
 		Origin: origin,
 	}
 	b.peers[id] = info
@@ -281,12 +298,26 @@ func (b *Broker) UnregisterPeer(id keys.PeerID) {
 }
 
 func (b *Broker) unregisterPeer(id keys.PeerID, announce bool) {
+	b.unregisterPeerAt(id, announce, time.Now())
+}
+
+// unregisterPeerAt ends the session that was live at the given time.
+// The same monotonic guard as registerPeerAt: a peer-down arriving
+// after the peer already re-registered (delivery is unordered) refers
+// to a session that no longer exists and must not take the new one
+// offline. Local logouts always pass (their session predates now).
+func (b *Broker) unregisterPeerAt(id keys.PeerID, announce bool, session time.Time) {
 	b.mu.Lock()
 	info, ok := b.peers[id]
+	if ok && info.ConnectedAt.After(session) {
+		ok = false // stale: a newer session superseded the one ending here
+	}
 	var local bool
+	var sessionAt time.Time
 	if ok {
 		info.Online = false
 		local = info.Origin == ""
+		sessionAt = info.ConnectedAt
 	}
 	b.mu.Unlock()
 	if !ok {
@@ -300,7 +331,8 @@ func (b *Broker) unregisterPeer(id keys.PeerID, announce bool) {
 	if announce && local {
 		b.fedBroadcast(endpoint.NewMessage().
 			AddString(proto.ElemOp, opFedPeerDown).
-			AddString(proto.ElemPeer, string(id)))
+			AddString(proto.ElemPeer, string(id)).
+			AddString(proto.ElemFedSession, strconv.FormatInt(sessionAt.UnixNano(), 10)))
 	}
 	b.ctl.Emit(events.PresenceUpdate, id, "", map[string]string{"user": info.Username, "status": advert.StatusOffline}, nil)
 }

@@ -1,7 +1,9 @@
 package broker
 
 import (
+	"strconv"
 	"strings"
+	"time"
 
 	"jxtaoverlay/internal/endpoint"
 	"jxtaoverlay/internal/keys"
@@ -76,11 +78,13 @@ func (b *Broker) fedBroadcast(msg *endpoint.Message) {
 	}
 }
 
-// isPartner reports whether the sender is a registered federation peer.
+// IsPartner reports whether the sender is a registered federation peer.
 // In the original middleware nothing authenticates this (consistent
 // with its threat model); the security extension's advertisement
-// verifier still applies to federated advertisement payloads.
-func (b *Broker) isPartner(id keys.PeerID) bool {
+// verifier still applies to federated advertisement payloads. Exported
+// for the relay hand-off handler (core), which must refuse forwarded
+// slices from non-partners.
+func (b *Broker) IsPartner(id keys.PeerID) bool {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	return containsPeer(b.federation, id)
@@ -91,7 +95,25 @@ func peerUpMessage(info *PeerInfo) *endpoint.Message {
 		AddString(proto.ElemOp, opFedPeerUp).
 		AddString(proto.ElemPeer, string(info.ID)).
 		AddString(proto.ElemUser, info.Username).
-		AddString(proto.ElemGroups, strings.Join(info.Groups, ","))
+		AddString(proto.ElemGroups, strings.Join(info.Groups, ",")).
+		AddString(proto.ElemFedSession, strconv.FormatInt(info.ConnectedAt.UnixNano(), 10))
+}
+
+// fedSession extracts the session start time a federation presence
+// update describes. Broker-to-broker delivery is unordered, so the
+// receiver compares it against the session it already has on record
+// and discards updates an intervening (re-)login made stale — without
+// this, a slow peer-up from a recipient's previous session can clobber
+// its live local registration and misroute relay traffic. A message
+// without the element (never produced here) falls back to "now", the
+// pre-timestamp behavior.
+func fedSession(msg *endpoint.Message) time.Time {
+	if s, _ := msg.GetString(proto.ElemFedSession); s != "" {
+		if ns, err := strconv.ParseInt(s, 10, 64); err == nil {
+			return time.Unix(0, ns)
+		}
+	}
+	return time.Now()
 }
 
 func (b *Broker) registerFederationOps() {
@@ -101,7 +123,7 @@ func (b *Broker) registerFederationOps() {
 }
 
 func (b *Broker) handleFedPeerUp(from keys.PeerID, msg *endpoint.Message) *endpoint.Message {
-	if !b.isPartner(from) {
+	if !b.IsPartner(from) {
 		return nil
 	}
 	peer, _ := msg.GetString(proto.ElemPeer)
@@ -111,21 +133,21 @@ func (b *Broker) handleFedPeerUp(from keys.PeerID, msg *endpoint.Message) *endpo
 	if groupsCSV != "" {
 		groups = strings.Split(groupsCSV, ",")
 	}
-	b.registerPeer(keys.PeerID(peer), user, groups, from)
+	b.registerPeerAt(keys.PeerID(peer), user, groups, from, fedSession(msg))
 	return nil
 }
 
 func (b *Broker) handleFedPeerDown(from keys.PeerID, msg *endpoint.Message) *endpoint.Message {
-	if !b.isPartner(from) {
+	if !b.IsPartner(from) {
 		return nil
 	}
 	peer, _ := msg.GetString(proto.ElemPeer)
-	b.unregisterPeer(keys.PeerID(peer), false)
+	b.unregisterPeerAt(keys.PeerID(peer), false, fedSession(msg))
 	return nil
 }
 
 func (b *Broker) handleFedAdv(from keys.PeerID, msg *endpoint.Message) *endpoint.Message {
-	if !b.isPartner(from) {
+	if !b.IsPartner(from) {
 		return nil
 	}
 	raw, ok := msg.Get(proto.ElemAdv)

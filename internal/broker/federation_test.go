@@ -2,14 +2,17 @@ package broker_test
 
 import (
 	"context"
+	"strconv"
 	"testing"
 	"time"
 
 	"jxtaoverlay/internal/broker"
 	"jxtaoverlay/internal/client"
+	"jxtaoverlay/internal/endpoint"
 	"jxtaoverlay/internal/events"
 	"jxtaoverlay/internal/keys"
 	"jxtaoverlay/internal/membership"
+	"jxtaoverlay/internal/proto"
 	"jxtaoverlay/internal/simnet"
 	"jxtaoverlay/internal/userdb"
 )
@@ -238,4 +241,102 @@ func TestFederateAnnouncesExistingPeers(t *testing.T) {
 	if got := brB.FederationPartners(); len(got) != 1 || got[0] != brA.PeerID() {
 		t.Fatalf("partners = %v", got)
 	}
+}
+
+// TestFederationStalePresenceIgnored: broker-to-broker presence pushes
+// are delivered with no ordering guarantee, so a peer-up or peer-down
+// describing a peer's PREVIOUS session can arrive after the peer has
+// already re-registered — here, locally. The session timestamp the
+// messages carry must keep presence monotonic: the stale updates are
+// discarded (a live local login is never clobbered into a federation-
+// resident or offline record, which would misroute relay hand-offs),
+// while a genuinely newer remote session still supersedes the local
+// record once the peer really moves.
+func TestFederationStalePresenceIgnored(t *testing.T) {
+	net := simnet.NewNetwork(simnet.ProfileLocal)
+	defer net.Close()
+	db := userdb.NewStoreIter(4)
+	db.Register("bob", "pw", "math")
+	br, err := broker.New(broker.Config{
+		Name: "b", PeerID: keys.LegacyPeerID("b"), Net: net,
+		DB: broker.AuthenticatorFunc(func(_ context.Context, u, p string) ([]string, error) {
+			return db.Authenticate(u, p)
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer br.Close()
+	partnerID := keys.LegacyPeerID("partner")
+	partner, err := endpoint.NewService(net, partnerID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer partner.Close()
+	br.Federate(partnerID)
+
+	bob := h2Login(t, net, br)
+	if !br.PeerResident(bob.PeerID()) || !br.PeerOnline(bob.PeerID()) {
+		t.Fatal("local login did not register bob resident+online")
+	}
+
+	// The partner replays bob's old session: a peer-up and peer-down
+	// whose session started a minute before his live local one.
+	stale := time.Now().Add(-time.Minute).UnixNano()
+	send := func(msg *endpoint.Message) {
+		t.Helper()
+		if err := partner.Send(br.PeerID(), proto.BrokerService, msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	send(endpoint.NewMessage().
+		AddString(proto.ElemOp, "fedPeerUp").
+		AddString(proto.ElemPeer, string(bob.PeerID())).
+		AddString(proto.ElemUser, "bob").
+		AddString(proto.ElemGroups, "math").
+		AddString(proto.ElemFedSession, strconv.FormatInt(stale, 10)))
+	send(endpoint.NewMessage().
+		AddString(proto.ElemOp, "fedPeerDown").
+		AddString(proto.ElemPeer, string(bob.PeerID())).
+		AddString(proto.ElemFedSession, strconv.FormatInt(stale, 10)))
+	// Ignoring is the absence of a transition: watch the record through
+	// the delivery window and fail the moment it flips.
+	hold := time.Now().Add(150 * time.Millisecond)
+	for time.Now().Before(hold) {
+		if !br.PeerResident(bob.PeerID()) || !br.PeerOnline(bob.PeerID()) {
+			t.Fatal("stale federation update clobbered a live local session")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// A NEWER remote session still wins: bob really moved brokers.
+	fresh := time.Now().UnixNano()
+	send(endpoint.NewMessage().
+		AddString(proto.ElemOp, "fedPeerUp").
+		AddString(proto.ElemPeer, string(bob.PeerID())).
+		AddString(proto.ElemUser, "bob").
+		AddString(proto.ElemGroups, "math").
+		AddString(proto.ElemFedSession, strconv.FormatInt(fresh, 10)))
+	waitUntil(t, func() bool {
+		return br.PeerOrigin(bob.PeerID()) == partnerID && !br.PeerResident(bob.PeerID())
+	})
+}
+
+// h2Login logs bob into a single plain broker (no harness).
+func h2Login(t *testing.T, net *simnet.Network, br *broker.Broker) *client.Client {
+	t.Helper()
+	cl, err := client.New(net, membership.NewNone(), "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := cl.Connect(ctx, br.PeerID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Login(ctx, "pw"); err != nil {
+		t.Fatal(err)
+	}
+	return cl
 }

@@ -39,6 +39,21 @@ func (b *Broker) PeerResident(id keys.PeerID) bool {
 	return ok && p.Local()
 }
 
+// PeerOrigin reports which federation partner owns a peer's presence:
+// the broker the peer was learned from, or "" for local (resident)
+// peers and peers with no session record. The relay's delivery hook
+// uses it to chase a queued slice to the partner broker the recipient
+// migrated to, instead of letting the slice expire here.
+func (b *Broker) PeerOrigin(id keys.PeerID) keys.PeerID {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	p, ok := b.peers[id]
+	if !ok {
+		return ""
+	}
+	return p.Origin
+}
+
 // KnownMember reports whether a peer — online or offline — belongs to a
 // group in its current session record. The empty group (network-wide
 // traffic) is open to every known peer, mirroring memberOf.

@@ -40,6 +40,10 @@ var (
 	ErrLoginFailed  = errors.New("client: login failed")
 	ErrNoPipe       = errors.New("client: destination pipe advertisement not found")
 	ErrBrokerOp     = errors.New("client: broker operation failed")
+	// ErrRelayQuota wraps ErrBrokerOp for the relay's quota refusal: the
+	// relay is up, but this sender (or its group) must let its queued
+	// backlog drain before uploading more rounds.
+	ErrRelayQuota = fmt.Errorf("%w: relay sender/group quota exceeded", ErrBrokerOp)
 )
 
 // PeerSummary is one row of a getOnlinePeers result.
@@ -204,6 +208,9 @@ func (c *Client) Call(ctx context.Context, msg *endpoint.Message) (*endpoint.Mes
 		return nil, err
 	}
 	if ok, errToken := proto.IsOK(resp); !ok {
+		if errToken == proto.ErrRelayQuota {
+			return resp, ErrRelayQuota
+		}
 		return resp, fmt.Errorf("%w: %s", ErrBrokerOp, errToken)
 	}
 	return resp, nil

@@ -72,7 +72,7 @@ func TestRelayHundredRecipientsThirtyPercentOffline(t *testing.T) {
 		online[m.id] = i < n-nOffline
 	}
 	bus := events.NewBus()
-	r := relay.New(relay.Config{Shards: 4},
+	r, rerr := relay.New(relay.Config{Shards: 4},
 		func(id keys.PeerID) bool { mu.Lock(); defer mu.Unlock(); return online[id] },
 		func(it relay.Item) error {
 			mu.Lock()
@@ -86,6 +86,9 @@ func TestRelayHundredRecipientsThirtyPercentOffline(t *testing.T) {
 			delivered[it.To] = it.Payload
 			return nil
 		})
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
 	defer r.Close()
 	defer r.BindBus(bus)()
 

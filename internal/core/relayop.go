@@ -4,6 +4,7 @@ import (
 	"errors"
 	"strconv"
 	"strings"
+	"time"
 
 	"jxtaoverlay/internal/broker"
 	"jxtaoverlay/internal/endpoint"
@@ -18,7 +19,10 @@ import (
 // the broker slices it per recipient (core.SliceRound — byte surgery,
 // no keys, no plaintext) and routes each slice: direct push to online
 // peers, bounded TTL queue for offline ones, drained on their next
-// login by the relay's shard workers.
+// login by the relay's shard workers. Recipients whose presence lives
+// at a federation partner get their slice handed off broker-to-broker
+// (fedRelaySlice) instead of refused — including queued slices whose
+// recipient migrates to a partner while the slice waits.
 //
 // Trust model (see SECURITY.md): the broker validates session and
 // group-roster facts it owns (submitter logged in, recipients known
@@ -34,29 +38,53 @@ var ErrRelayUnavailable = errors.New("core: broker relay unavailable")
 
 // ErrRelaySkipped is returned (wrapped, with counts) by the client-side
 // relay primitives when the broker refused some addressed recipients —
-// unknown to it, or resident at a federation partner it cannot flush a
-// queue for. The round still went out to everyone counted in
-// direct/queued; the error exists so a shortfall is never silent.
+// unknown to it, or whose federation hand-off failed. The round still
+// went out to everyone counted in direct/queued/handoff; the error
+// exists so a shortfall is never silent.
 var ErrRelaySkipped = errors.New("core: relay skipped undeliverable recipients")
 
+// ErrRelayQuota is returned when the broker throttled the round because
+// the sender (or its group) exhausted its relay queue quota. Retry
+// after the queued backlog drains; the relay itself is healthy.
+var ErrRelayQuota = errors.New("core: relay quota exceeded")
+
 // RelayConfig parameterizes the broker relay. It embeds the queue
-// configuration and exists so future knobs (per-group quotas, federated
-// hand-off) have a home that is not internal/relay's concern.
+// configuration (durability, quotas, TTL — see relay.Config).
 type RelayConfig struct {
 	relay.Config
 }
 
 // EnableBrokerRelay attaches the store-and-forward relay subsystem to a
-// broker: it builds the sharded queues, binds queue drains to the
-// broker's presence events, and registers the relayRound operation.
+// broker: it builds the sharded queues (recovering any durable backlog
+// when cfg.WAL.Dir is set), binds queue drains to the broker's presence
+// events, and registers the relayRound and fedRelaySlice operations.
 // Close() the returned relay when the broker shuts down.
-func EnableBrokerRelay(b *broker.Broker, cfg RelayConfig) *relay.Relay {
-	r := relay.New(cfg.Config, b.PeerOnline, func(it relay.Item) error {
+func EnableBrokerRelay(b *broker.Broker, cfg RelayConfig) (*relay.Relay, error) {
+	var r *relay.Relay
+	deliver := func(it relay.Item) error {
+		// Presence migrated to a federation partner? Chase the slice
+		// there instead of failing the drain — the partner's own relay
+		// delivers it (or queues it under the partner's TTL). Forwarded
+		// items never re-forward: one hop, no mesh loops.
+		if !it.Forwarded {
+			if origin := b.PeerOrigin(it.To); origin != "" {
+				if err := b.Endpoint().Send(origin, proto.BrokerService, fedSliceMessage(it)); err != nil {
+					return err
+				}
+				r.AddHandoff()
+				return nil
+			}
+		}
 		return b.Endpoint().Send(it.To, proto.ClientService, sliceDeliverMessage(it))
-	})
+	}
+	r, err := relay.New(cfg.Config, b.PeerOnline, deliver)
+	if err != nil {
+		return nil, err
+	}
 	r.BindBus(b.Bus())
 	b.RegisterOp(proto.OpRelayRound, relayRoundHandler(b, r))
-	return r
+	b.RegisterOp(proto.OpFedRelaySlice, fedRelaySliceHandler(b, r))
+	return r, nil
 }
 
 // sliceDeliverMessage wraps one slice into the client push that carries
@@ -69,9 +97,59 @@ func sliceDeliverMessage(it relay.Item) *endpoint.Message {
 		Add(proto.ElemEnvelope, it.Payload)
 }
 
+// fedSliceMessage wraps one slice into the broker-to-broker hand-off.
+// The original expiry travels with it: a slice must not gain lifetime
+// by hopping brokers.
+func fedSliceMessage(it relay.Item) *endpoint.Message {
+	return endpoint.NewMessage().
+		AddString(proto.ElemOp, proto.OpFedRelaySlice).
+		AddString(proto.ElemRelayTo, string(it.To)).
+		AddString(proto.ElemPeer, string(it.From)).
+		AddString(proto.ElemGroup, it.Group).
+		AddString(proto.ElemRelayExp, strconv.FormatInt(it.Expires.UnixNano(), 10)).
+		Add(proto.ElemEnvelope, it.Payload)
+}
+
+// fedRelaySliceHandler accepts a slice handed off by a federation
+// partner and routes it through the local relay as a one-hop Forwarded
+// item: direct push if the recipient is logged in here, local queue
+// otherwise. Non-partners are ignored outright, mirroring the other
+// federation handlers.
+func fedRelaySliceHandler(b *broker.Broker, r *relay.Relay) broker.OpHandler {
+	return func(from keys.PeerID, msg *endpoint.Message) *endpoint.Message {
+		if !b.IsPartner(from) {
+			return nil
+		}
+		to, _ := msg.GetString(proto.ElemRelayTo)
+		sender, _ := msg.GetString(proto.ElemPeer)
+		group, _ := msg.GetString(proto.ElemGroup)
+		payload, ok := msg.Get(proto.ElemEnvelope)
+		if to == "" || !ok {
+			return nil
+		}
+		it := relay.Item{
+			To: keys.PeerID(to), From: keys.PeerID(sender),
+			Group: group, Payload: payload, Forwarded: true,
+		}
+		if expStr, _ := msg.GetString(proto.ElemRelayExp); expStr != "" {
+			if ns, err := strconv.ParseInt(expStr, 10, 64); err == nil {
+				it.Expires = time.Unix(0, ns)
+			}
+		}
+		r.Submit(it)
+		// Hand-off is one-way, like every federation push: the origin
+		// broker already acked (or acked-and-logged) the slice to its
+		// sender, and failure here is indistinguishable from the
+		// recipient logging out mid-flight — the local TTL queue and
+		// the sender's end-to-end round receipt are the safety nets.
+		return nil
+	}
+}
+
 // relayRoundHandler processes one uploaded round: validate, slice,
-// route. The response reports how many slices went out directly and how
-// many were queued.
+// route. The response reports how many slices went out directly, were
+// queued, were handed off to federation partners, were refused by
+// quota, and were skipped as undeliverable.
 func relayRoundHandler(b *broker.Broker, r *relay.Relay) broker.OpHandler {
 	return func(from keys.PeerID, msg *endpoint.Message) *endpoint.Message {
 		if !b.PeerOnline(from) {
@@ -80,6 +158,11 @@ func relayRoundHandler(b *broker.Broker, r *relay.Relay) broker.OpHandler {
 		group, _ := msg.GetString(proto.ElemGroup)
 		if !b.KnownMember(from, group) {
 			return proto.Fail(proto.ErrNoGroup)
+		}
+		// Fast-fail a sender already at its quota before paying for the
+		// round parse: every queued slice would be refused anyway.
+		if r.SenderOverQuota(from) {
+			return proto.Fail(proto.ErrRelayQuota)
 		}
 		wire, ok := msg.Get(proto.ElemEnvelope)
 		if !ok || len(wire) == 0 || Mode(wire[0]) != ModeGroup {
@@ -102,11 +185,12 @@ func relayRoundHandler(b *broker.Broker, r *relay.Relay) broker.OpHandler {
 		if len(ids) != d.Recipients() {
 			return proto.Fail(proto.ErrBadRound)
 		}
-		// Every addressed recipient lands in exactly one of the three
-		// counters — direct, queued or skipped — so the sender can detect
-		// a shortfall instead of a silent drop. Slices are cut lazily:
-		// only accepted recipients pay for their copy of the ciphertext.
-		direct, queued, skipped := 0, 0, 0
+		// Every addressed recipient lands in exactly one of the five
+		// counters — direct, queued, handoff, quota or skipped — so the
+		// sender can detect a shortfall instead of a silent drop. Slices
+		// are cut lazily: only accepted recipients pay for their copy of
+		// the ciphertext.
+		direct, queued, handoff, quota, skipped := 0, 0, 0, 0, 0
 		for i, raw := range ids {
 			id := keys.PeerID(raw)
 			if !b.KnownMember(id, group) || id == from {
@@ -118,11 +202,20 @@ func relayRoundHandler(b *broker.Broker, r *relay.Relay) broker.OpHandler {
 			}
 			if !b.PeerResident(id) {
 				// The member is logged in at (or last seen through) a
-				// federation partner: its presence events fire there, so a
-				// queue here would only expire. Until federated hand-off
-				// exists (ROADMAP), refuse the slice honestly instead of
-				// reporting it queued-for-delivery.
-				skipped++
+				// federation partner: its presence events fire there, so
+				// hand the slice to the broker that owns it. The item is
+				// stamped with the local TTL so a hop cannot extend its
+				// life past what a local queue would have allowed.
+				it := relay.Item{
+					To: id, From: from, Group: group, Payload: d.Slice(i),
+					Expires: time.Now().Add(r.TTL()),
+				}
+				if b.Endpoint().Send(b.PeerOrigin(id), proto.BrokerService, fedSliceMessage(it)) != nil {
+					skipped++
+					continue
+				}
+				r.AddHandoff()
+				handoff++
 				continue
 			}
 			switch r.Submit(relay.Item{To: id, From: from, Group: group, Payload: d.Slice(i)}) {
@@ -130,6 +223,12 @@ func relayRoundHandler(b *broker.Broker, r *relay.Relay) broker.OpHandler {
 				direct++
 			case relay.SubmitQueued:
 				queued++
+			case relay.SubmitDroppedQuota:
+				// The sender crossed its quota mid-round (or the group
+				// did). Already-routed slices stand; the rest of the
+				// round is counted so the sender sees exactly how far it
+				// got.
+				quota++
 			case relay.SubmitDropped:
 				// The relay shut down mid-round; nothing already counted is
 				// lost, but the remaining slices cannot be accepted — fail
@@ -140,6 +239,8 @@ func relayRoundHandler(b *broker.Broker, r *relay.Relay) broker.OpHandler {
 		return proto.OK().
 			AddString(proto.ElemRelayDirect, strconv.Itoa(direct)).
 			AddString(proto.ElemRelayQueued, strconv.Itoa(queued)).
+			AddString(proto.ElemRelayHandoff, strconv.Itoa(handoff)).
+			AddString(proto.ElemRelayQuota, strconv.Itoa(quota)).
 			AddString(proto.ElemRelaySkipped, strconv.Itoa(skipped))
 	}
 }

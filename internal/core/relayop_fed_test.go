@@ -17,13 +17,15 @@ import (
 	"jxtaoverlay/internal/userdb"
 )
 
-// TestRelayRefusesFederationResidentRecipients: a group member logged
+// TestRelayHandsOffFederationResidentRecipients: a group member logged
 // in at a federation partner must NOT be queued for locally — its
 // presence events (and therefore the queue drain) fire at its own
-// broker, so a queue here could only expire. The relay op refuses the
-// slice and reports it skipped instead of telling the sender it is
-// queued for a login that will never happen at this broker.
-func TestRelayRefusesFederationResidentRecipients(t *testing.T) {
+// broker, so a queue here could only expire. Instead of refusing the
+// slice (the pre-hand-off behavior), the relay op forwards it to the
+// partner broker that owns the recipient, whose own relay delivers it
+// directly. Recipients with no session record anywhere are still
+// skipped and counted — a shortfall is never silent.
+func TestRelayHandsOffFederationResidentRecipients(t *testing.T) {
 	net := simnet.NewNetwork(simnet.ProfileLocal)
 	defer net.Close()
 	db := userdb.NewStoreIter(4)
@@ -43,8 +45,16 @@ func TestRelayRefusesFederationResidentRecipients(t *testing.T) {
 	brA, brB := mk("fed-broker-a"), mk("fed-broker-b")
 	brA.Federate(brB.PeerID())
 	brB.Federate(brA.PeerID())
-	rly := core.EnableBrokerRelay(brA, core.RelayConfig{})
-	defer rly.Close()
+	rlyA, err := core.EnableBrokerRelay(brA, core.RelayConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rlyA.Close()
+	rlyB, err := core.EnableBrokerRelay(brB, core.RelayConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rlyB.Close()
 
 	login := func(alias string, br *broker.Broker) *client.Client {
 		cl, err := client.New(net, membership.NewNone(), alias)
@@ -79,12 +89,15 @@ func TestRelayRefusesFederationResidentRecipients(t *testing.T) {
 	if !brA.PeerResident(alice.PeerID()) {
 		t.Fatal("locally logged-in peer not resident")
 	}
+	if brA.PeerOrigin(bob.PeerID()) != brB.PeerID() {
+		t.Fatalf("PeerOrigin(bob) = %q, want broker B", brA.PeerOrigin(bob.PeerID()))
+	}
 
 	// One sealed round addressed to bob (federation-resident) and a peer
 	// the broker has no session record for. The wrap keys need not be
-	// real recipient keys: the broker holds no keys and must refuse on
-	// residency and roster facts, before delivery is even attempted —
-	// and every refused recipient must be counted, not silently dropped.
+	// real recipient keys: the broker holds no keys and routes on
+	// residency and roster facts alone — and every recipient must land
+	// in exactly one counter.
 	kp, err := keys.NewKeyPair()
 	if err != nil {
 		t.Fatal(err)
@@ -109,10 +122,28 @@ func TestRelayRefusesFederationResidentRecipients(t *testing.T) {
 		n, _ := strconv.Atoi(v)
 		return n
 	}
-	if direct, queued, skipped := count(proto.ElemRelayDirect), count(proto.ElemRelayQueued), count(proto.ElemRelaySkipped); direct != 0 || queued != 0 || skipped != 2 {
-		t.Fatalf("direct=%d queued=%d skipped=%d, want 0/0/2", direct, queued, skipped)
+	direct, queued := count(proto.ElemRelayDirect), count(proto.ElemRelayQueued)
+	handoff, skipped := count(proto.ElemRelayHandoff), count(proto.ElemRelaySkipped)
+	if direct != 0 || queued != 0 || handoff != 1 || skipped != 1 {
+		t.Fatalf("direct=%d queued=%d handoff=%d skipped=%d, want 0/0/1/1", direct, queued, handoff, skipped)
 	}
-	if got := rly.QueuedTotal(); got != 0 {
-		t.Fatalf("relay queued %d slices for undeliverable recipients", got)
+	if got := rlyA.QueuedTotal(); got != 0 {
+		t.Fatalf("origin relay queued %d slices for partner-resident recipients", got)
 	}
+	if got := rlyA.Metrics().HandedOff; got != 1 {
+		t.Fatalf("HandedOff = %d, want 1", got)
+	}
+	// The partner's relay received the forwarded slice and, with bob
+	// logged in there, pushed it directly.
+	waitMetric := func(get func() uint64, want uint64, what string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for get() < want && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+		}
+		if got := get(); got != want {
+			t.Fatalf("%s = %d, want %d", what, got, want)
+		}
+	}
+	waitMetric(func() uint64 { return rlyB.Metrics().DeliveredDirect }, 1, "partner DeliveredDirect")
 }

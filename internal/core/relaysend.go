@@ -2,10 +2,12 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
 
+	"jxtaoverlay/internal/client"
 	"jxtaoverlay/internal/endpoint"
 	"jxtaoverlay/internal/keys"
 	"jxtaoverlay/internal/parallel"
@@ -102,18 +104,32 @@ func (s *SecureClient) SecureMsgPeersViaRelay(ctx context.Context, group, text s
 		resp, cerr := s.Call(ctx, msg)
 		if cerr != nil {
 			if firstErr == nil {
-				firstErr = ErrRelayUnavailable
+				if errors.Is(cerr, client.ErrRelayQuota) {
+					firstErr = ErrRelayQuota
+				} else {
+					firstErr = ErrRelayUnavailable
+				}
 			}
 			continue
 		}
 		dd, _ := resp.GetString(proto.ElemRelayDirect)
 		qq, _ := resp.GetString(proto.ElemRelayQueued)
+		hh, _ := resp.GetString(proto.ElemRelayHandoff)
+		nn, _ := resp.GetString(proto.ElemRelayQuota)
 		ss, _ := resp.GetString(proto.ElemRelaySkipped)
 		di, _ := strconv.Atoi(dd)
 		qi, _ := strconv.Atoi(qq)
+		hi, _ := strconv.Atoi(hh)
+		ni, _ := strconv.Atoi(nn)
 		si, _ := strconv.Atoi(ss)
 		direct += di
-		queued += qi
+		// A handed-off slice is in flight toward the partner broker that
+		// owns the recipient — from the sender's seat that is "queued":
+		// accepted for eventual delivery, not confirmed received.
+		queued += qi + hi
+		if ni > 0 && firstErr == nil {
+			firstErr = fmt.Errorf("%w: %d of %d throttled", ErrRelayQuota, ni, len(chunk))
+		}
 		if si > 0 && firstErr == nil {
 			firstErr = fmt.Errorf("%w: %d of %d", ErrRelaySkipped, si, len(chunk))
 		}

@@ -66,7 +66,10 @@ func TestRelayedRoundSurvivesChurn(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	rly := core.EnableBrokerRelay(br, core.RelayConfig{})
+	rly, err := core.EnableBrokerRelay(br, core.RelayConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer rly.Close()
 
 	clients := make([]*core.SecureClient, nPeers)

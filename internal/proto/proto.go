@@ -66,11 +66,25 @@ const (
 	ElemRecipients  = "relay:rcpt"   // ordered recipient peer IDs, comma separated
 	ElemRelayDirect = "relay:direct" // slices delivered immediately
 	ElemRelayQueued = "relay:queued" // slices queued for offline peers
-	// slices not accepted: recipients resident at a federation partner,
-	// which this broker's queues can never flush (hand-off is future
-	// work — the partner owns their presence events)
+	// slices not accepted: recipients unknown to this broker (no session
+	// record), or whose slice a federation hand-off also failed to ship
 	ElemRelaySkipped = "relay:skipped"
-	ElemAll          = "all" // listPeers: include offline peers
+	// slices handed off to the federation partner that owns the
+	// recipient's presence (counted toward delivery alongside queued)
+	ElemRelayHandoff = "relay:handoff"
+	// slices refused because the sender or group is over its relay
+	// queue quota
+	ElemRelayQuota = "relay:quota"
+	// fedRelaySlice addressing: recipient peer and expiry (unix nanos)
+	// of one handed-off slice
+	ElemRelayTo  = "relay:to"
+	ElemRelayExp = "relay:exp"
+	// fedPeerUp/fedPeerDown: start time (unix nanos) of the client
+	// session the update describes. Delivery between brokers is
+	// unordered, so receivers use it to discard updates a newer session
+	// has already superseded.
+	ElemFedSession = "fed:session"
+	ElemAll        = "all" // listPeers: include offline peers
 )
 
 // Broker operations (the Broker Module "functions" clients call).
@@ -151,4 +165,13 @@ const (
 	ErrUnsignedAdv    = "unsigned-advertisement"
 	ErrRelayOff       = "relay-not-enabled"
 	ErrBadRound       = "bad-round-wire"
+	// ErrRelayQuota means the sender (or its group) has exhausted its
+	// relay queue quota; distinct from ErrRelayOff so clients can back
+	// off instead of treating the relay as down.
+	ErrRelayQuota = "relay-quota-exceeded"
 )
+
+// OpFedRelaySlice forwards one queued round slice broker-to-broker:
+// the recipient's presence migrated to a federation partner, so the
+// slice chases it there instead of expiring in the origin's queue.
+const OpFedRelaySlice = "fedRelaySlice"

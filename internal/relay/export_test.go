@@ -1,0 +1,9 @@
+package relay
+
+// ArmedRetries reports how many retry timers are currently armed —
+// test-only visibility for the Close-cancels-retries regression test.
+func (r *Relay) ArmedRetries() int {
+	r.retryMu.Lock()
+	defer r.retryMu.Unlock()
+	return len(r.retryTimers)
+}

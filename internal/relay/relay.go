@@ -5,6 +5,16 @@
 // for offline ones, then drained by sharded delivery workers when the
 // peer's presence comes back (login events on the events.Bus).
 //
+// Queues are durable when Config.WAL.Dir is set: every enqueue,
+// delivery, expiry and drop is written behind the in-memory state to an
+// append-only, CRC-checked log (internal/relay/wal), and a restarted
+// relay replays the log to rebuild its queues — re-enforcing TTL on
+// every recovered item and never resurrecting one whose delivery,
+// expiry or drop was already logged. Per-sender and per-group quotas
+// bound how much of the shared store one chatty sender (or one noisy
+// group) may occupy, so the per-peer drop-oldest policy cannot be
+// weaponized to evict everyone else's traffic.
+//
 // The relay is deliberately ignorant of cryptography: payloads are
 // opaque bytes. Everything that makes a queued slice safe to hold at an
 // untrusted intermediary — the signed recipient binding, the body
@@ -24,14 +34,15 @@ import (
 	"jxtaoverlay/internal/advert"
 	"jxtaoverlay/internal/events"
 	"jxtaoverlay/internal/keys"
+	"jxtaoverlay/internal/relay/wal"
 )
 
 // Item is one undelivered payload addressed to one recipient.
 type Item struct {
 	// To is the recipient peer.
 	To keys.PeerID
-	// From is the originating peer (diagnostics; the authenticated
-	// sender is inside the payload).
+	// From is the originating peer (diagnostics and quota accounting;
+	// the authenticated sender is inside the payload).
 	From keys.PeerID
 	// Group is the overlay group the payload belongs to.
 	Group string
@@ -40,6 +51,13 @@ type Item struct {
 	// Expires is when the item stops being deliverable. The zero value
 	// means "now + Config.TTL", stamped at submission.
 	Expires time.Time
+	// Forwarded marks an item received through federation hand-off; the
+	// delivery hook must not forward it a second time (one-hop loop
+	// guard across the broker mesh).
+	Forwarded bool
+
+	// seq is the item's WAL sequence number (0 = not persisted).
+	seq wal.Seq
 }
 
 // DeliverFunc hands one item to its recipient. A non-nil error means
@@ -57,6 +75,14 @@ type Config struct {
 	// item is dropped (and counted) — newer traffic is the traffic a
 	// returning peer still cares about. 0 = 64.
 	QueueCap int
+	// SenderQuota bounds how many items one SENDER may have queued
+	// across all recipients (0 = unlimited). Submissions over quota are
+	// refused with SubmitDroppedQuota instead of evicting other
+	// senders' traffic.
+	SenderQuota int
+	// GroupQuota bounds how many items one GROUP may have queued across
+	// all recipients (0 = unlimited).
+	GroupQuota int
 	// TTL is how long a queued item stays deliverable (0 = 2 minutes).
 	// Note the tension with the recipients' replay-guard freshness
 	// window: items held longer than that window would be rejected as
@@ -67,6 +93,11 @@ type Config struct {
 	// peers proceed in parallel while one peer's queue always drains in
 	// order from a single worker.
 	Shards int
+	// WAL configures the durable queue log. WAL.Dir == "" runs the
+	// relay in-memory (queues die with the process). The relay owns the
+	// log: it opens it in New (replaying any previous state) and closes
+	// it in Close.
+	WAL wal.Options
 	// Clock overrides the time source (tests).
 	Clock func() time.Time
 }
@@ -78,14 +109,32 @@ type Metrics struct {
 	DeliveredDirect uint64
 	// DeliveredFlushed counts queued items delivered by a flush.
 	DeliveredFlushed uint64
+	// HandedOff counts items forwarded to a federation partner broker
+	// because the recipient's presence migrated there.
+	HandedOff uint64
 	// Enqueued counts items that entered an offline queue.
 	Enqueued uint64
 	// DroppedOverflow counts oldest-items dropped by full queues.
 	DroppedOverflow uint64
+	// DroppedQuota counts submissions refused because the sender or
+	// group was over its queue quota — isolation, not overflow.
+	DroppedQuota uint64
 	// Expired counts items whose TTL ran out before delivery.
 	Expired uint64
 	// DeliverErrors counts failed delivery attempts (the item is kept).
 	DeliverErrors uint64
+	// WALErrors counts queue mutations the WAL failed to log (the
+	// in-memory queue keeps working; durability degrades).
+	WALErrors uint64
+	// RecoveryReplayed counts items rebuilt into queues at startup.
+	RecoveryReplayed uint64
+	// RecoveryDiscardedTTL counts logged items discarded at startup
+	// because their TTL had already run out.
+	RecoveryDiscardedTTL uint64
+	// RecoveryDiscardedGuard counts logged items discarded at startup
+	// because a delivery/expiry/drop ack was also logged — the
+	// no-resurrection guard.
+	RecoveryDiscardedGuard uint64
 }
 
 // Relay is the store-and-forward subsystem of one broker.
@@ -99,15 +148,34 @@ type Relay struct {
 	stop   chan struct{}
 	closed atomic.Bool
 
+	log *wal.Log // nil when running in-memory
+
+	// Cross-queue quota occupancy, by sender and by group.
+	quotaMu  sync.Mutex
+	bySender map[keys.PeerID]int
+	byGroup  map[string]int
+
+	// Armed mid-drain retry timers, cancelled by Close so a retry can
+	// never fire against a closed relay.
+	retryMu     sync.Mutex
+	retryTimers map[keys.PeerID]*time.Timer
+
 	bus       *events.Bus // optional, set by BindBus; emits RelayFlushed
 	busCancel func()      // unsubscribes from the bus; called by Close
 
 	deliveredDirect  atomic.Uint64
 	deliveredFlushed atomic.Uint64
+	handedOff        atomic.Uint64
 	enqueued         atomic.Uint64
 	droppedOverflow  atomic.Uint64
+	droppedQuota     atomic.Uint64
 	expired          atomic.Uint64
 	deliverErrors    atomic.Uint64
+	walErrors        atomic.Uint64
+
+	recoveryReplayed       uint64
+	recoveryDiscardedTTL   uint64
+	recoveryDiscardedGuard uint64
 }
 
 type shard struct {
@@ -118,8 +186,11 @@ type shard struct {
 }
 
 // New starts a relay. online gates direct delivery; deliver performs
-// it. Both must be safe for concurrent use.
-func New(cfg Config, online OnlineFunc, deliver DeliverFunc) *Relay {
+// it. Both must be safe for concurrent use. With Config.WAL.Dir set the
+// previous process's queue log is replayed first: un-acked items
+// re-enter their queues (TTL re-checked, acked items never resurrected)
+// and the error reports an unreadable or unreplayable log.
+func New(cfg Config, online OnlineFunc, deliver DeliverFunc) (*Relay, error) {
 	if cfg.QueueCap <= 0 {
 		cfg.QueueCap = 64
 	}
@@ -133,19 +204,71 @@ func New(cfg Config, online OnlineFunc, deliver DeliverFunc) *Relay {
 		cfg.Clock = time.Now
 	}
 	r := &Relay{
-		cfg:     cfg,
-		deliver: deliver,
-		online:  online,
-		stop:    make(chan struct{}),
+		cfg:         cfg,
+		deliver:     deliver,
+		online:      online,
+		stop:        make(chan struct{}),
+		bySender:    make(map[keys.PeerID]int),
+		byGroup:     make(map[string]int),
+		retryTimers: make(map[keys.PeerID]*time.Timer),
 	}
 	r.shards = make([]*shard, cfg.Shards)
 	for i := range r.shards {
-		s := &shard{r: r, queues: make(map[keys.PeerID][]Item), flushCh: make(chan keys.PeerID, 256)}
-		r.shards[i] = s
+		r.shards[i] = &shard{r: r, queues: make(map[keys.PeerID][]Item), flushCh: make(chan keys.PeerID, 256)}
+	}
+	if cfg.WAL.Dir != "" {
+		if err := r.recover(); err != nil {
+			return nil, err
+		}
+	}
+	for _, s := range r.shards {
 		r.wg.Add(1)
 		go s.work()
 	}
-	return r
+	return r, nil
+}
+
+// recover opens the WAL and rebuilds the queues from its live records.
+// Replay re-runs the admission checks a live submission would face:
+// items whose TTL passed while the broker was down are discarded (and
+// acked so compaction reclaims them), caps and quotas are re-enforced,
+// and — inside wal.Open — items with a logged delivery/expiry/drop
+// never come back at all.
+func (r *Relay) recover() error {
+	log, recovered, stats, err := wal.Open(r.cfg.WAL)
+	if err != nil {
+		return err
+	}
+	r.log = log
+	r.recoveryDiscardedGuard = uint64(stats.Acked)
+	now := r.cfg.Clock()
+	for _, rec := range recovered {
+		if now.After(rec.Expires) {
+			r.recoveryDiscardedTTL++
+			r.expired.Add(1)
+			if aerr := log.AppendAck(rec.Seq, wal.AckExpired); aerr != nil {
+				r.walErrors.Add(1)
+			}
+			continue
+		}
+		it := Item{
+			To: rec.To, From: rec.From, Group: rec.Group,
+			Payload: rec.Payload, Expires: rec.Expires,
+			Forwarded: rec.Forwarded, seq: rec.Seq,
+		}
+		if !r.reserveQuota(it) {
+			r.droppedQuota.Add(1)
+			if aerr := log.AppendAck(rec.Seq, wal.AckDropped); aerr != nil {
+				r.walErrors.Add(1)
+			}
+			continue
+		}
+		// Workers are not running yet, so enqueue touches shards
+		// unobserved; cap overflow acks through the usual path.
+		r.shardOf(it.To).enqueue(it)
+		r.recoveryReplayed++
+	}
+	return nil
 }
 
 // BindBus subscribes the relay to presence events so a peer's queue is
@@ -183,12 +306,17 @@ const (
 	// SubmitQueued means the item was stored for delivery at the
 	// recipient's next login (or the armed retry).
 	SubmitQueued
+	// SubmitDroppedQuota means the item was refused because its sender
+	// or group is over its queue quota. Distinct from SubmitDropped so
+	// the broker can tell the sender "you are throttled" rather than
+	// "the relay is down".
+	SubmitDroppedQuota
 )
 
 // Submit routes one item: direct delivery when the recipient is online
 // (falling back to the queue when the send fails under it), the
-// bounded queue otherwise. Callers must not report SubmitDropped items
-// as pending — nothing will ever deliver them.
+// bounded queue otherwise. Callers must not report SubmitDropped or
+// SubmitDroppedQuota items as pending — nothing will ever deliver them.
 func (r *Relay) Submit(it Item) SubmitResult {
 	if r.closed.Load() {
 		return SubmitDropped
@@ -206,6 +334,26 @@ func (r *Relay) Submit(it Item) SubmitResult {
 			return SubmitDirect
 		}
 		r.deliverErrors.Add(1)
+	}
+	// Queue path: quota first (a refused item must not reach the WAL),
+	// then the durable append, then the in-memory queue.
+	if !r.reserveQuota(it) {
+		r.droppedQuota.Add(1)
+		return SubmitDroppedQuota
+	}
+	if r.log != nil {
+		seq, err := r.log.AppendAdd(wal.Record{
+			To: it.To, From: it.From, Group: it.Group,
+			Payload: it.Payload, Expires: it.Expires, Forwarded: it.Forwarded,
+		})
+		if err != nil {
+			// The log died (disk fault or injected crash). Keep serving
+			// from memory — a degraded relay beats a dead one — but
+			// count it: operators alert on WALErrors.
+			r.walErrors.Add(1)
+		} else {
+			it.seq = seq
+		}
 	}
 	s := r.shardOf(it.To)
 	s.enqueue(it)
@@ -225,14 +373,88 @@ func (r *Relay) Submit(it Item) SubmitResult {
 	return SubmitQueued
 }
 
+// reserveQuota claims one unit of sender and group occupancy, refusing
+// when either is at its cap. Direct deliveries never reserve — quotas
+// bound queue OCCUPANCY, the contended resource.
+func (r *Relay) reserveQuota(it Item) bool {
+	if r.cfg.SenderQuota <= 0 && r.cfg.GroupQuota <= 0 {
+		return true
+	}
+	r.quotaMu.Lock()
+	defer r.quotaMu.Unlock()
+	if r.cfg.SenderQuota > 0 && r.bySender[it.From] >= r.cfg.SenderQuota {
+		return false
+	}
+	if r.cfg.GroupQuota > 0 && r.byGroup[it.Group] >= r.cfg.GroupQuota {
+		return false
+	}
+	r.bySender[it.From]++
+	r.byGroup[it.Group]++
+	return true
+}
+
+// releaseQuota returns an item's occupancy when it leaves its queue for
+// any reason (delivered, expired, dropped).
+func (r *Relay) releaseQuota(it Item) {
+	if r.cfg.SenderQuota <= 0 && r.cfg.GroupQuota <= 0 {
+		return
+	}
+	r.quotaMu.Lock()
+	defer r.quotaMu.Unlock()
+	if n := r.bySender[it.From] - 1; n > 0 {
+		r.bySender[it.From] = n
+	} else {
+		delete(r.bySender, it.From)
+	}
+	if n := r.byGroup[it.Group] - 1; n > 0 {
+		r.byGroup[it.Group] = n
+	} else {
+		delete(r.byGroup, it.Group)
+	}
+}
+
+// SenderOverQuota reports whether a sender has exhausted its queue
+// quota — the broker's fast-fail check before it pays for slicing a
+// round whose every slice would be refused.
+func (r *Relay) SenderOverQuota(id keys.PeerID) bool {
+	if r.cfg.SenderQuota <= 0 {
+		return false
+	}
+	r.quotaMu.Lock()
+	defer r.quotaMu.Unlock()
+	return r.bySender[id] >= r.cfg.SenderQuota
+}
+
+// TTL reports the queue TTL items are stamped with at submission.
+func (r *Relay) TTL() time.Duration { return r.cfg.TTL }
+
 // retryDelay spaces the re-drain attempts armed after a delivery
 // failure against a peer that is still online.
 const retryDelay = 250 * time.Millisecond
 
-// retryFlush re-drains a peer's queue after a short delay. Firing after
-// Close is harmless: Flush no-ops on a closed relay.
+// retryFlush arms a delayed re-drain of the peer's queue. The timer is
+// tracked so Close can cancel it: without that, a retry armed just
+// before shutdown could fire against a closed relay (and, under -race,
+// against freed state). One armed timer per peer — re-arming replaces.
 func (r *Relay) retryFlush(id keys.PeerID) {
-	time.AfterFunc(retryDelay, func() { r.Flush(id) })
+	r.retryMu.Lock()
+	defer r.retryMu.Unlock()
+	if r.closed.Load() {
+		return
+	}
+	if t, ok := r.retryTimers[id]; ok {
+		t.Stop()
+	}
+	var tm *time.Timer
+	tm = time.AfterFunc(retryDelay, func() {
+		r.retryMu.Lock()
+		if r.retryTimers[id] == tm {
+			delete(r.retryTimers, id)
+		}
+		r.retryMu.Unlock()
+		r.Flush(id)
+	})
+	r.retryTimers[id] = tm
 }
 
 // Flush schedules an asynchronous drain of the peer's queue on its
@@ -264,6 +486,15 @@ func (r *Relay) Flush(id keys.PeerID) {
 	}
 }
 
+// Sync forces the WAL to disk, making every accepted submission so far
+// durable. A no-op for an in-memory relay.
+func (r *Relay) Sync() error {
+	if r.log == nil {
+		return nil
+	}
+	return r.log.Sync()
+}
+
 // QueueLen reports how many items are queued for a peer (expired items
 // included until their lazy removal).
 func (r *Relay) QueueLen(id keys.PeerID) int {
@@ -286,28 +517,60 @@ func (r *Relay) QueuedTotal() int {
 	return total
 }
 
+// QueuedFor reports how many items a sender has queued across all
+// recipients (0 when quotas are disabled — occupancy is only tracked
+// under a quota).
+func (r *Relay) QueuedFor(sender keys.PeerID) int {
+	r.quotaMu.Lock()
+	defer r.quotaMu.Unlock()
+	return r.bySender[sender]
+}
+
 // Metrics returns a snapshot of the counters.
 func (r *Relay) Metrics() Metrics {
 	return Metrics{
-		DeliveredDirect:  r.deliveredDirect.Load(),
-		DeliveredFlushed: r.deliveredFlushed.Load(),
-		Enqueued:         r.enqueued.Load(),
-		DroppedOverflow:  r.droppedOverflow.Load(),
-		Expired:          r.expired.Load(),
-		DeliverErrors:    r.deliverErrors.Load(),
+		DeliveredDirect:        r.deliveredDirect.Load(),
+		DeliveredFlushed:       r.deliveredFlushed.Load(),
+		HandedOff:              r.handedOff.Load(),
+		Enqueued:               r.enqueued.Load(),
+		DroppedOverflow:        r.droppedOverflow.Load(),
+		DroppedQuota:           r.droppedQuota.Load(),
+		Expired:                r.expired.Load(),
+		DeliverErrors:          r.deliverErrors.Load(),
+		WALErrors:              r.walErrors.Load(),
+		RecoveryReplayed:       r.recoveryReplayed,
+		RecoveryDiscardedTTL:   r.recoveryDiscardedTTL,
+		RecoveryDiscardedGuard: r.recoveryDiscardedGuard,
 	}
 }
 
-// Close stops the delivery workers. Queued items are abandoned.
+// AddHandoff counts one federation hand-off (called by the broker-side
+// delivery hook when it routes an item to a partner broker instead of
+// a local recipient).
+func (r *Relay) AddHandoff() { r.handedOff.Add(1) }
+
+// Close stops the delivery workers and cancels armed retries. Queued
+// items are abandoned in memory but remain in the WAL (graceful
+// shutdown does NOT ack them): a relay reopened on the same directory
+// recovers them.
 func (r *Relay) Close() {
 	if r.closed.Swap(true) {
 		return
 	}
+	r.retryMu.Lock()
+	for id, t := range r.retryTimers {
+		t.Stop()
+		delete(r.retryTimers, id)
+	}
+	r.retryMu.Unlock()
 	if r.busCancel != nil {
 		r.busCancel()
 	}
 	close(r.stop)
 	r.wg.Wait()
+	if r.log != nil {
+		_ = r.log.Close()
+	}
 }
 
 func (s *shard) enqueue(it Item) {
@@ -317,12 +580,27 @@ func (s *shard) enqueue(it Item) {
 	if len(q) >= s.r.cfg.QueueCap {
 		// Drop-oldest: the front of the FIFO is the stalest traffic.
 		drop := len(q) - s.r.cfg.QueueCap + 1
+		for _, old := range q[:drop] {
+			s.r.retire(old, wal.AckDropped)
+		}
 		q = append(q[:0], q[drop:]...)
 		s.r.droppedOverflow.Add(uint64(drop))
 	}
 	s.queues[it.To] = append(q, it)
 	s.mu.Unlock()
 	s.r.enqueued.Add(1)
+}
+
+// retire logs an item's departure from its queue and returns its quota
+// occupancy. Every exit path (delivered, expired, dropped) funnels
+// through here so the WAL and the quota books can never disagree.
+func (r *Relay) retire(it Item, reason wal.AckReason) {
+	r.releaseQuota(it)
+	if r.log != nil && it.seq != 0 {
+		if err := r.log.AppendAck(it.seq, reason); err != nil {
+			r.walErrors.Add(1)
+		}
+	}
 }
 
 // pruneLocked removes expired items wherever they sit in the peer's
@@ -334,6 +612,7 @@ func (s *shard) pruneLocked(id keys.PeerID, now time.Time) []Item {
 	for _, it := range q {
 		if now.After(it.Expires) {
 			s.r.expired.Add(1)
+			s.r.retire(it, wal.AckExpired)
 			continue
 		}
 		kept = append(kept, it)
@@ -360,7 +639,10 @@ func (s *shard) work() {
 
 // drain delivers the peer's queue in order: pop the front under the
 // lock, deliver outside it (delivery does wire I/O), push back at the
-// front and stop on failure.
+// front and stop on failure. A successful delivery is acked to the WAL
+// AFTER the handoff to the wire — so a crash between the two redelivers
+// (at-least-once) rather than loses, and the recipient's replay guard
+// collapses the duplicate.
 func (s *shard) drain(id keys.PeerID) {
 	flushed := 0
 	for {
@@ -391,6 +673,7 @@ func (s *shard) drain(id keys.PeerID) {
 			}
 			break
 		}
+		s.r.retire(it, wal.AckDelivered)
 		s.r.deliveredFlushed.Add(1)
 		flushed++
 	}

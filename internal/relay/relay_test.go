@@ -54,6 +54,15 @@ func (s *sink) got(id keys.PeerID) []string {
 	return append([]string(nil), s.delivered[id]...)
 }
 
+func mustRelay(t *testing.T, cfg relay.Config, s *sink) *relay.Relay {
+	t.Helper()
+	r, err := relay.New(cfg, s.isOnline, s.deliver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
 func waitFor(t *testing.T, cond func() bool) {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)
@@ -72,7 +81,7 @@ func item(to keys.PeerID, payload string) relay.Item {
 
 func TestDirectDeliveryWhenOnline(t *testing.T) {
 	s := newSink()
-	r := relay.New(relay.Config{}, s.isOnline, s.deliver)
+	r := mustRelay(t, relay.Config{}, s)
 	defer r.Close()
 	s.setOnline("bob", true)
 	if r.Submit(item("bob", "hello")) != relay.SubmitDirect {
@@ -88,7 +97,7 @@ func TestDirectDeliveryWhenOnline(t *testing.T) {
 
 func TestQueueAndFlushOnPresence(t *testing.T) {
 	s := newSink()
-	r := relay.New(relay.Config{}, s.isOnline, s.deliver)
+	r := mustRelay(t, relay.Config{}, s)
 	defer r.Close()
 	bus := events.NewBus()
 	defer r.BindBus(bus)()
@@ -125,7 +134,7 @@ func TestTTLExpiryMidQueue(t *testing.T) {
 	var clock atomic.Int64 // seconds
 	now := func() time.Time { return time.Unix(1000+clock.Load(), 0) }
 	s := newSink()
-	r := relay.New(relay.Config{Clock: now, TTL: time.Hour}, s.isOnline, s.deliver)
+	r := mustRelay(t, relay.Config{Clock: now, TTL: time.Hour}, s)
 	defer r.Close()
 
 	longLived := func(p string) relay.Item {
@@ -158,7 +167,7 @@ func TestTTLExpiryMidQueue(t *testing.T) {
 // and what survives still delivers in FIFO order.
 func TestOverflowDropsOldestInOrder(t *testing.T) {
 	s := newSink()
-	r := relay.New(relay.Config{QueueCap: 3}, s.isOnline, s.deliver)
+	r := mustRelay(t, relay.Config{QueueCap: 3}, s)
 	defer r.Close()
 	for i := 0; i < 5; i++ {
 		r.Submit(item("bob", fmt.Sprintf("m%d", i)))
@@ -179,7 +188,7 @@ func TestOverflowDropsOldestInOrder(t *testing.T) {
 // order for the next flush.
 func TestFailedFlushKeepsRemainder(t *testing.T) {
 	s := newSink()
-	r := relay.New(relay.Config{}, s.isOnline, s.deliver)
+	r := mustRelay(t, relay.Config{}, s)
 	defer r.Close()
 	r.Submit(item("bob", "m0"))
 	r.Submit(item("bob", "m1"))
@@ -209,7 +218,7 @@ func TestFailedFlushKeepsRemainder(t *testing.T) {
 // no manual Flush, no login.
 func TestTransientFailureRetriesWhileOnline(t *testing.T) {
 	s := newSink()
-	r := relay.New(relay.Config{}, s.isOnline, s.deliver)
+	r := mustRelay(t, relay.Config{}, s)
 	defer r.Close()
 	s.mu.Lock()
 	s.online["bob"] = true
@@ -234,7 +243,7 @@ func TestTransientFailureRetriesWhileOnline(t *testing.T) {
 // same peer — newer traffic must not permanently overtake it.
 func TestDirectSuccessDrainsStragglers(t *testing.T) {
 	s := newSink()
-	r := relay.New(relay.Config{}, s.isOnline, s.deliver)
+	r := mustRelay(t, relay.Config{}, s)
 	defer r.Close()
 	r.Submit(item("bob", "m0")) // offline: queued
 	s.setOnline("bob", true)
@@ -258,7 +267,7 @@ func TestDirectSuccessDrainsStragglers(t *testing.T) {
 // (the CI GOMAXPROCS=4 job does).
 func TestConcurrentFlushEnqueueRace(t *testing.T) {
 	s := newSink()
-	r := relay.New(relay.Config{QueueCap: 10000, TTL: time.Hour, Shards: 4}, s.isOnline, s.deliver)
+	r := mustRelay(t, relay.Config{QueueCap: 10000, TTL: time.Hour, Shards: 4}, s)
 	defer r.Close()
 	bus := events.NewBus()
 	defer r.BindBus(bus)()
@@ -296,7 +305,7 @@ func TestConcurrentFlushEnqueueRace(t *testing.T) {
 
 func TestCloseStopsDelivery(t *testing.T) {
 	s := newSink()
-	r := relay.New(relay.Config{}, s.isOnline, s.deliver)
+	r := mustRelay(t, relay.Config{}, s)
 	r.Submit(item("bob", "m0"))
 	r.Close()
 	// A closed relay must own up to discarding the item — reporting it

@@ -20,6 +20,14 @@
 #     a signed advertisement via the canonical fast path)
 #   - BenchmarkOpenSlice                    ns/op (full receive of one
 #     relayed round slice: unwrap + AEAD + parse + bindings + verify)
+#   - BenchmarkRelayDrainDurable/recipients100  ns/op / 100 (per-slice
+#     cost of a churn round on the WAL-backed relay)
+#
+# The durable drain is additionally held to an intra-snapshot ratio:
+# within the CURRENT snapshot it must stay under BENCH_DURABLE_FACTOR
+# (default 2) times BenchmarkRelayDelivery/recipients100 — the same
+# round shape on the in-memory relay. Both sides come from one run on
+# one machine, so the persistence-tax bound needs no canary.
 #
 # By default the thresholds compare absolute ns/op, which requires
 # baseline and current runs to come from the same machine class. Set
@@ -61,7 +69,7 @@ if [ -z "$current" ]; then
     current=$(mktemp --suffix=.json)
     trap 'rm -f "$current"' EXIT
     echo "bench_compare: running gated benchmarks (baseline: $baseline)"
-    BENCH="${BENCH:-BenchmarkVerifyTrusted|BenchmarkFanOutSecure|BenchmarkSignedAdvertisement|BenchmarkParseCold|BenchmarkOpenSlice}" \
+    BENCH="${BENCH:-BenchmarkVerifyTrusted|BenchmarkFanOutSecure|BenchmarkSignedAdvertisement|BenchmarkParseCold|BenchmarkOpenSlice|BenchmarkRelayDelivery|BenchmarkRelayDrainDurable}" \
         BENCHTIME="${BENCHTIME:-1s}" BENCH_OUT="$current" ./scripts/bench.sh >/dev/null
 fi
 [ -r "$current" ] || { echo "bench_compare: unreadable current $current" >&2; exit 2; }
@@ -152,10 +160,32 @@ gate "BenchmarkVerifyTrusted/warm" 1 "VerifyTrusted/warm"
 gate "BenchmarkFanOutSecure/recipients100" 100 "FanOutSecure per-recipient (N=100)"
 gate "BenchmarkParseCold/canonical" 1 "ParseCold fast path"
 gate "BenchmarkOpenSlice" 1 "OpenSlice receive"
+gate "BenchmarkRelayDrainDurable/recipients100" 100 "RelayDrainDurable per-slice (N=100)"
 gate_allocs "BenchmarkVerifyTrusted/warm" 1 "VerifyTrusted/warm allocs"
 gate_allocs "BenchmarkFanOutSecure/recipients100" 100 "FanOutSecure per-recipient allocs (N=100)"
 gate_allocs "BenchmarkParseCold/canonical" 1 "ParseCold fast path allocs"
 gate_allocs "BenchmarkOpenSlice" 1 "OpenSlice receive allocs"
+gate_allocs "BenchmarkRelayDrainDurable/recipients100" 100 "RelayDrainDurable per-slice allocs (N=100)"
+
+# Persistence-tax ratio: durable drain vs in-memory drain, both from the
+# CURRENT snapshot (same machine, same run), so this bound is absolute
+# and canary-free. A blown ratio means the WAL path grew software
+# overhead — syscalls, lock stalls or copies on the drain path.
+durable_factor="${BENCH_DURABLE_FACTOR:-2}"
+mem_ns=$(ns_of "$current" "BenchmarkRelayDelivery/recipients100")
+dur_ns=$(ns_of "$current" "BenchmarkRelayDrainDurable/recipients100")
+if [ -z "$mem_ns" ] || [ -z "$dur_ns" ]; then
+    echo "bench_compare: relay drain metrics missing from current snapshot" >&2
+    fail=1
+else
+    awk -v mem="$mem_ns" -v dur="$dur_ns" -v factor="$durable_factor" '
+    BEGIN {
+        ratio = dur / mem
+        status = (ratio > factor) ? "FAIL" : "ok"
+        printf "%-42s %14.4g %14.4g %7.2fx %s\n", "RelayDrainDurable / RelayDelivery", mem, dur, ratio, status
+        exit (ratio > factor) ? 1 : 0
+    }' || fail=1
+fi
 
 if [ "$fail" -ne 0 ]; then
     echo "bench_compare: REGRESSION — a gated metric regressed (>${tolerance}% ns or >${alloc_tolerance}% allocs) vs $baseline" >&2
