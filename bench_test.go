@@ -32,6 +32,7 @@ import (
 	"jxtaoverlay/internal/keys"
 	"jxtaoverlay/internal/parallel"
 	"jxtaoverlay/internal/relay"
+	"jxtaoverlay/internal/telemetry"
 	"jxtaoverlay/internal/xdsig"
 	"jxtaoverlay/internal/xmldoc"
 )
@@ -902,6 +903,55 @@ func BenchmarkRelayDrainDurable(b *testing.B) {
 			}
 			for delivered.Load() < uint64((i+1)*n) {
 				runtime.Gosched()
+			}
+		}
+	})
+}
+
+// --- T1: telemetry instrument overhead ---
+
+// BenchmarkTelemetryOverhead prices the metrics layer itself. The
+// inline instruments (counter Inc, histogram Observe) are what hot
+// paths pay per event — the gate holds them to single-digit
+// nanoseconds and zero allocations, i.e. genuinely free next to the
+// microsecond-scale paths they count. Snapshot is the pull-collector
+// cost paid only when something scrapes /metrics, reported for scale.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	b.Run("counter", func(b *testing.B) {
+		reg := telemetry.New()
+		c := reg.Counter("bench_events_total", "benchmark instrument")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("histogram", func(b *testing.B) {
+		reg := telemetry.New()
+		h := reg.Histogram("bench_latency_ms", "benchmark instrument", telemetry.LatencyBucketsMS)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Observe(float64(i % 400))
+		}
+	})
+	b.Run("snapshot", func(b *testing.B) {
+		// A registry shaped like a real broker deployment: a few dozen
+		// pull collectors plus inline instruments.
+		reg := telemetry.New()
+		var backing atomic.Uint64
+		for i := 0; i < 30; i++ {
+			reg.CounterFunc(fmt.Sprintf("bench_collector_%02d_total", i), "benchmark collector",
+				func() float64 { return float64(backing.Load()) })
+		}
+		reg.Counter("bench_inline_total", "benchmark instrument")
+		reg.Histogram("bench_inline_ms", "benchmark instrument", telemetry.LatencyBucketsMS)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			backing.Add(1)
+			if s := reg.Snapshot(); len(s) == 0 {
+				b.Fatal("empty snapshot")
 			}
 		}
 	})

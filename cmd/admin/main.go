@@ -8,9 +8,11 @@
 //	admin broker  -dir deploy/ -name broker-1       issue a broker key + credential
 //	admin adduser -dir deploy/ -user alice -pass pw -groups math,art
 //	admin users   -dir deploy/                      list registered users
+//	admin metrics -url localhost:9090               snapshot a broker's telemetry
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +22,7 @@ import (
 
 	"jxtaoverlay/internal/core"
 	"jxtaoverlay/internal/keys"
+	"jxtaoverlay/internal/telemetry"
 	"jxtaoverlay/internal/userdb"
 )
 
@@ -37,6 +40,8 @@ func main() {
 		err = cmdAddUser(os.Args[2:])
 	case "users":
 		err = cmdUsers(os.Args[2:])
+	case "metrics":
+		err = cmdMetrics(os.Args[2:])
 	default:
 		usage()
 	}
@@ -47,11 +52,12 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: admin <init|broker|adduser|users> [flags]
+	fmt.Fprintln(os.Stderr, `usage: admin <init|broker|adduser|users|metrics> [flags]
   init    -dir DIR [-name admin] [-bits 1024]
   broker  -dir DIR -name NAME [-validity 8760h]
   adduser -dir DIR -user USER -pass PASS [-groups g1,g2]
-  users   -dir DIR`)
+  users   -dir DIR
+  metrics -url HOST:PORT [-timeout 5s]`)
 	os.Exit(2)
 }
 
@@ -193,4 +199,21 @@ func cmdUsers(args []string) error {
 		fmt.Printf("%-16s groups=%v\n", name, groups)
 	}
 	return nil
+}
+
+// cmdMetrics pulls one telemetry snapshot from a running broker
+// process (e.g. `overlaysim -metrics localhost:9090`) and renders it
+// as the same text exposition the endpoint itself serves.
+func cmdMetrics(args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	url := fs.String("url", "localhost:9090", "metrics endpoint (host:port or full URL)")
+	timeout := fs.Duration("timeout", 5*time.Second, "fetch timeout")
+	fs.Parse(args)
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	samples, err := telemetry.Fetch(ctx, *url)
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	return telemetry.RenderText(os.Stdout, samples)
 }

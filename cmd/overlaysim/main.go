@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	overlaysim [-clients 6] [-secure] [-profile lan] [-messages 3] [-churn] [-restart] [-v]
+//	overlaysim [-clients 6] [-secure] [-profile lan] [-messages 3] [-churn] [-restart] [-metrics addr] [-v]
+//	overlaysim -scenario join-storm|drain-spike|parse-flood|slow-sender [-clients N] [-messages N] [-out summary.json]
 //
 // With -churn (requires -secure) a third of the peers log out before
 // the group chatter, each round is uploaded ONCE to the broker's
@@ -16,10 +17,19 @@
 // relay additionally runs on a durable WAL and is torn down and
 // recovered mid-churn, while the queues are full, before the departed
 // peers return — the crash-recovery path end to end.
+//
+// With -scenario the tool becomes a scenario driver: it runs one named
+// traffic shape against a full in-process deployment and emits a
+// schema-stable JSON summary (stdout, or -out FILE) that CI archives
+// and gates on. The exit status is the gate: non-zero when the run
+// recorded anomalies. -metrics ADDR serves the live telemetry registry
+// over HTTP ("/metrics" text, "/metrics.json" snapshot) in either
+// mode; `admin metrics -url ADDR` reads it.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -36,7 +46,9 @@ import (
 	"jxtaoverlay/internal/filesvc"
 	"jxtaoverlay/internal/keys"
 	"jxtaoverlay/internal/membership"
+	"jxtaoverlay/internal/scenario"
 	"jxtaoverlay/internal/simnet"
+	"jxtaoverlay/internal/telemetry"
 	"jxtaoverlay/internal/userdb"
 )
 
@@ -47,15 +59,84 @@ func main() {
 	messages := flag.Int("messages", 3, "group messages per client")
 	churn := flag.Bool("churn", false, "take a third of the peers offline mid-run; deliver via the broker relay queues (requires -secure)")
 	restart := flag.Bool("restart", false, "run the relay on a durable WAL and restart it mid-churn: queued slices must survive into the recovered queues (requires -churn)")
+	scenarioName := flag.String("scenario", "", "run one named scenario instead of the smoke sim: "+strings.Join(scenario.Names(), ", "))
+	out := flag.String("out", "", "write the scenario summary JSON to FILE (default stdout)")
+	metricsAddr := flag.String("metrics", "", "serve the telemetry registry over HTTP on ADDR (e.g. localhost:9090)")
 	verbose := flag.Bool("v", false, "log every event")
 	flag.Parse()
 
-	if err := run(*nClients, *secure, *profileName, *messages, *churn, *restart, *verbose); err != nil {
+	reg := telemetry.Default
+	if *metricsAddr != "" {
+		srv, err := reg.Serve(*metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/metrics\n", srv.Addr())
+	}
+
+	if *scenarioName != "" {
+		if err := runScenario(*scenarioName, *nClients, *messages, *profileName, *out, reg); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := run(*nClients, *secure, *profileName, *messages, *churn, *restart, *verbose, reg); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(nClients int, secure bool, profileName string, messages int, churn, restart, verbose bool) error {
+// runScenario drives one named scenario and writes its JSON summary.
+// A run that recorded anomalies exits with status 1 AFTER writing the
+// summary: CI gets the evidence and the red build.
+func runScenario(name string, nClients, rounds int, profileName, out string, reg *telemetry.Registry) error {
+	// The flag defaults belong to the smoke sim; a scenario invoked
+	// without explicit sizes uses its own defaults instead.
+	opt := scenario.Options{Profile: profileName, Registry: reg}
+	if explicitFlag("clients") {
+		opt.Clients = nClients
+	}
+	if explicitFlag("messages") {
+		opt.Rounds = rounds
+	}
+	sum, err := scenario.Run(name, opt)
+	if err != nil {
+		return err
+	}
+	raw, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if out != "" {
+		if err := os.WriteFile(out, raw, 0o644); err != nil {
+			return err
+		}
+	} else {
+		os.Stdout.Write(raw)
+	}
+	fmt.Fprintf(os.Stderr, "scenario %s: %d delivered, %.1f rounds/s, p99 %.1fms, %d anomalies\n",
+		sum.Scenario, sum.Delivered, sum.RoundsPerSec, sum.P99DeliveryMS, len(sum.Anomalies))
+	if len(sum.Anomalies) > 0 {
+		for _, a := range sum.Anomalies {
+			fmt.Fprintf(os.Stderr, "anomaly: %s\n", a)
+		}
+		os.Exit(1)
+	}
+	return nil
+}
+
+func explicitFlag(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+func run(nClients int, secure bool, profileName string, messages int, churn, restart, verbose bool, reg *telemetry.Registry) error {
 	if churn && !secure {
 		return fmt.Errorf("-churn demonstrates relayed secure rounds; run with -secure")
 	}
@@ -109,9 +190,10 @@ func run(nClients int, secure bool, profileName string, messages int, churn, res
 		return err
 	}
 	defer br.Close()
-	if _, err := core.EnableBrokerSecurity(br, core.BrokerConfig{
+	bs, err := core.EnableBrokerSecurity(br, core.BrokerConfig{
 		KeyPair: brKP, Credential: brCred, Trust: trust, RequireSignedAdvs: secure,
-	}); err != nil {
+	})
+	if err != nil {
 		return err
 	}
 	relayCfg := core.RelayConfig{}
@@ -129,6 +211,7 @@ func run(nClients int, secure bool, profileName string, messages int, churn, res
 		return err
 	}
 	defer func() { rly.Close() }()
+	core.RegisterBrokerTelemetry(reg, br, bs, rly, nil)
 	fmt.Printf("broker %q up (secure=%v, profile=%s, churn=%v)\n", br.Name(), secure, profileName, churn)
 
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
@@ -278,6 +361,9 @@ func run(nClients int, secure bool, profileName string, messages int, churn, res
 			if err != nil {
 				return fmt.Errorf("relay restart: %w", err)
 			}
+			// Rebind the relay collectors to the recovered instance — the
+			// registry replaces same-name collectors in place.
+			core.RegisterBrokerTelemetry(reg, br, bs, rly, nil)
 			m := rly.Metrics()
 			fmt.Printf("restart: relay recovered %d of %d queued slices (%d expired while down, %d already acked)\n",
 				m.RecoveryReplayed, queuedBefore, m.RecoveryDiscardedTTL, m.RecoveryDiscardedGuard)

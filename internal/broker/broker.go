@@ -21,8 +21,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"jxtaoverlay/internal/admission"
 	"jxtaoverlay/internal/advert"
 	"jxtaoverlay/internal/control"
 	"jxtaoverlay/internal/discovery"
@@ -107,6 +109,61 @@ type Broker struct {
 	ops         map[string]OpHandler
 	advVerifier AdvVerifier
 	federation  []keys.PeerID
+	adm         *admission.Limiter
+
+	// Operation counters (see Stats). Plain atomics on the dispatch
+	// path; the telemetry layer reads them through pull collectors.
+	opsDispatched    atomic.Uint64
+	opsFailed        atomic.Uint64
+	opsRateLimited   atomic.Uint64
+	advsPublished    atomic.Uint64
+	fedAdvsAccepted  atomic.Uint64
+	fedStalePresence atomic.Uint64
+}
+
+// Stats is a snapshot of the broker's operation counters.
+type Stats struct {
+	// OpsDispatched counts operations routed to a handler (rate-limited
+	// refusals included, unknown ops excluded).
+	OpsDispatched uint64
+	// OpsFailed counts operations answered with an error token.
+	OpsFailed uint64
+	// OpsRateLimited counts operations refused by admission control.
+	OpsRateLimited uint64
+	// AdvsPublished counts advertisements accepted via publishAdv.
+	AdvsPublished uint64
+	// FedAdvsAccepted counts federation-forwarded advertisements
+	// accepted into the local cache.
+	FedAdvsAccepted uint64
+	// FedStalePresence counts federation presence updates discarded by
+	// the monotonic session guard.
+	FedStalePresence uint64
+	// PeersOnline / PeersKnown are the live and total session records.
+	PeersOnline int
+	PeersKnown  int
+}
+
+// Stats returns a snapshot of the broker's counters and roster sizes.
+func (b *Broker) Stats() Stats {
+	b.mu.RLock()
+	known := len(b.peers)
+	online := 0
+	for _, p := range b.peers {
+		if p.Online {
+			online++
+		}
+	}
+	b.mu.RUnlock()
+	return Stats{
+		OpsDispatched:    b.opsDispatched.Load(),
+		OpsFailed:        b.opsFailed.Load(),
+		OpsRateLimited:   b.opsRateLimited.Load(),
+		AdvsPublished:    b.advsPublished.Load(),
+		FedAdvsAccepted:  b.fedAdvsAccepted.Load(),
+		FedStalePresence: b.fedStalePresence.Load(),
+		PeersOnline:      online,
+		PeersKnown:       known,
+	}
 }
 
 // New attaches a broker to the network and registers its operations.
@@ -183,15 +240,78 @@ func (b *Broker) SetAdvVerifier(v AdvVerifier) {
 	b.advVerifier = v
 }
 
+// EnableAdmission installs per-credential admission control on the
+// operation surface: every op a peer invokes spends one token from its
+// limiter bucket, and exhausting the bucket earns the `rate-limited`
+// wire refusal. Buckets are keyed by peer ID, which secure logins bind
+// to the credentialed key via CBID — so the key is, in effect, the
+// credential fingerprint. Federation partners are exempt: their ops
+// aggregate whole-broker traffic, and their legitimacy question
+// (IsPartner) is settled per handler.
+func (b *Broker) EnableAdmission(l *admission.Limiter) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.adm = l
+}
+
+// Admission returns the installed limiter (nil when admission control
+// is off). The relay op uses it to feed quota refusals into the same
+// offender escalation.
+func (b *Broker) Admission() *admission.Limiter {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.adm
+}
+
+// RecordOffense feeds an out-of-band refusal (e.g. a relay quota
+// rejection) into the offender tracking and raises the SecurityAlert
+// audit event when the credential's streak crosses the threshold. A
+// no-op without admission control.
+func (b *Broker) RecordOffense(from keys.PeerID, op, reason string) {
+	adm := b.Admission()
+	if adm == nil {
+		return
+	}
+	if d := adm.Offense(string(from)); d.Alert {
+		b.emitAdmissionAlert(from, op, reason, d.Offenses)
+	}
+}
+
+func (b *Broker) emitAdmissionAlert(from keys.PeerID, op, reason string, offenses int) {
+	b.ctl.Emit(events.SecurityAlert, from, "", map[string]string{
+		"reason":   reason,
+		"op":       op,
+		"offenses": strconv.Itoa(offenses),
+	}, nil)
+}
+
 func (b *Broker) dispatch(from keys.PeerID, msg *endpoint.Message) *endpoint.Message {
 	op, _ := msg.GetString(proto.ElemOp)
 	b.mu.RLock()
 	h, ok := b.ops[op]
+	adm := b.adm
 	b.mu.RUnlock()
 	if !ok {
 		return proto.Fail(proto.ErrUnknownOp)
 	}
-	return h(from, msg)
+	b.opsDispatched.Add(1)
+	if adm != nil && !b.IsPartner(from) {
+		if d := adm.Allow(string(from)); !d.Allowed {
+			b.opsRateLimited.Add(1)
+			b.opsFailed.Add(1)
+			if d.Alert {
+				b.emitAdmissionAlert(from, op, proto.ErrRateLimited, d.Offenses)
+			}
+			return proto.Fail(proto.ErrRateLimited)
+		}
+	}
+	resp := h(from, msg)
+	if resp != nil {
+		if ok, _ := proto.IsOK(resp); !ok {
+			b.opsFailed.Add(1)
+		}
+	}
+	return resp
 }
 
 func (b *Broker) registerDefaultOps() {
@@ -266,6 +386,7 @@ func (b *Broker) registerPeerAt(id keys.PeerID, username string, groups []string
 	b.mu.Lock()
 	if old, ok := b.peers[id]; ok && old.ConnectedAt.After(session) {
 		b.mu.Unlock()
+		b.fedStalePresence.Add(1)
 		return
 	}
 	info := &PeerInfo{
@@ -311,6 +432,7 @@ func (b *Broker) unregisterPeerAt(id keys.PeerID, announce bool, session time.Ti
 	info, ok := b.peers[id]
 	if ok && info.ConnectedAt.After(session) {
 		ok = false // stale: a newer session superseded the one ending here
+		b.fedStalePresence.Add(1)
 	}
 	var local bool
 	var sessionAt time.Time
@@ -425,6 +547,7 @@ func (b *Broker) handlePublishAdv(from keys.PeerID, msg *endpoint.Message) *endp
 	if err := b.ctl.Cache().PutParsed(doc, parsed); err != nil {
 		return proto.Fail(proto.ErrBadRequest)
 	}
+	b.advsPublished.Add(1)
 	if group != "" {
 		b.PropagateAdv(doc, group, from)
 	}

@@ -168,6 +168,7 @@ func (b *Broker) handleFedAdv(from keys.PeerID, msg *endpoint.Message) *endpoint
 	if err := b.ctl.Cache().PutParsed(doc, adv); err != nil {
 		return nil
 	}
+	b.fedAdvsAccepted.Add(1)
 	// Propagate to local members only; never re-forward (loop guard).
 	if group := advGroup(adv); group != "" {
 		b.propagateLocal(doc, group, keys.PeerID(src))

@@ -44,6 +44,10 @@ var (
 	// relay is up, but this sender (or its group) must let its queued
 	// backlog drain before uploading more rounds.
 	ErrRelayQuota = fmt.Errorf("%w: relay sender/group quota exceeded", ErrBrokerOp)
+	// ErrRateLimited wraps ErrBrokerOp for admission-control refusals:
+	// this credential exhausted its operation budget at the broker and
+	// must back off before retrying. Other credentials are unaffected.
+	ErrRateLimited = fmt.Errorf("%w: rate limited by broker admission control", ErrBrokerOp)
 )
 
 // PeerSummary is one row of a getOnlinePeers result.
@@ -208,8 +212,11 @@ func (c *Client) Call(ctx context.Context, msg *endpoint.Message) (*endpoint.Mes
 		return nil, err
 	}
 	if ok, errToken := proto.IsOK(resp); !ok {
-		if errToken == proto.ErrRelayQuota {
+		switch errToken {
+		case proto.ErrRelayQuota:
 			return resp, ErrRelayQuota
+		case proto.ErrRateLimited:
+			return resp, ErrRateLimited
 		}
 		return resp, fmt.Errorf("%w: %s", ErrBrokerOp, errToken)
 	}

@@ -272,6 +272,10 @@ func (bs *BrokerSecurity) verifyAdv(doc *xmldoc.Element) (advert.Advertisement, 
 // diagnostics.
 func (bs *BrokerSecurity) VerifyCache() *xdsig.VerifyCache { return bs.vcache }
 
+// Trust returns the broker's trust store (telemetry reads its chain
+// cache statistics).
+func (bs *BrokerSecurity) Trust() *cred.TrustStore { return bs.cfg.Trust }
+
 // CheckAdvOwnership rejects signed advertisements whose signer is not
 // the peer the advertisement describes — without it, any credentialed
 // user could still publish advertisements impersonating another peer.

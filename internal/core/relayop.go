@@ -160,8 +160,12 @@ func relayRoundHandler(b *broker.Broker, r *relay.Relay) broker.OpHandler {
 			return proto.Fail(proto.ErrNoGroup)
 		}
 		// Fast-fail a sender already at its quota before paying for the
-		// round parse: every queued slice would be refused anyway.
+		// round parse: every queued slice would be refused anyway. The
+		// refusal also counts as an admission offense: a sender hammering
+		// a full queue escalates toward a SecurityAlert exactly like one
+		// hammering the op rate limit.
 		if r.SenderOverQuota(from) {
+			b.RecordOffense(from, proto.OpRelayRound, proto.ErrRelayQuota)
 			return proto.Fail(proto.ErrRelayQuota)
 		}
 		wire, ok := msg.Get(proto.ElemEnvelope)
@@ -235,6 +239,12 @@ func relayRoundHandler(b *broker.Broker, r *relay.Relay) broker.OpHandler {
 				// so the sender does not trust the queued count.
 				return proto.Fail(proto.ErrRelayOff)
 			}
+		}
+		if quota > 0 {
+			// One offense per throttled round (not per slice): the unit
+			// of sender behavior is the upload, and per-slice counting
+			// would let a single wide round trip the alert threshold.
+			b.RecordOffense(from, proto.OpRelayRound, proto.ErrRelayQuota)
 		}
 		return proto.OK().
 			AddString(proto.ElemRelayDirect, strconv.Itoa(direct)).

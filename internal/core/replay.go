@@ -3,10 +3,27 @@ package core
 import (
 	"encoding/hex"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"jxtaoverlay/internal/keys"
 )
+
+// Process-wide replay-guard rejection counters, aggregated across every
+// guard instance (clients and brokers alike): a replayed or stale
+// secure message is a security signal wherever it lands, and the
+// telemetry export reads these with zero per-guard bookkeeping.
+var (
+	replayRejectedTotal atomic.Uint64
+	staleRejectedTotal  atomic.Uint64
+)
+
+// ReplayStats reports how many messages all ReplayGuards in the process
+// have rejected as replayed (digest/nonce already seen) and as stale
+// (signed timestamp outside the freshness window).
+func ReplayStats() (replayed, stale uint64) {
+	return replayRejectedTotal.Load(), staleRejectedTotal.Load()
+}
 
 // The paper's messenger primitives are deliberately stateless and
 // best-effort (§4.3): no handshake, no sequence numbers — which means a
@@ -87,9 +104,11 @@ func (g *ReplayGuard) admit(key string, sentAt time.Time) error {
 	defer g.mu.Unlock()
 	now := g.clock()
 	if d := now.Sub(sentAt); d > g.window || d < -g.window {
+		staleRejectedTotal.Add(1)
 		return ErrMessageStale
 	}
 	if _, dup := g.seen[key]; dup {
+		replayRejectedTotal.Add(1)
 		return ErrMessageReplayed
 	}
 	// Prune entries whose window has fully passed. The sweep is

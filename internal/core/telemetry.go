@@ -1,0 +1,138 @@
+package core
+
+import (
+	"jxtaoverlay/internal/admission"
+	"jxtaoverlay/internal/advert"
+	"jxtaoverlay/internal/broker"
+	"jxtaoverlay/internal/relay"
+	"jxtaoverlay/internal/telemetry"
+	"jxtaoverlay/internal/xmldoc"
+)
+
+// RegisterBrokerTelemetry wires a broker deployment's counters into a
+// telemetry registry as pull collectors: nothing here touches a hot
+// path. Every subsystem already keeps its own cheap atomics (or derives
+// the number on demand), and the closures registered below read them
+// only when a snapshot is taken. Any of bs, rly and adm may be nil —
+// the matching metric families are simply not registered, so a
+// plaintext broker or one without a relay exports exactly what it runs.
+func RegisterBrokerTelemetry(reg *telemetry.Registry, b *broker.Broker, bs *BrokerSecurity, rly *relay.Relay, adm *admission.Limiter) {
+	u := func(v uint64) float64 { return float64(v) }
+
+	// Broker operation surface.
+	reg.CounterFunc("broker_ops_dispatched_total",
+		"Operations routed to a handler (rate-limited refusals included).",
+		func() float64 { return u(b.Stats().OpsDispatched) })
+	reg.CounterFunc("broker_ops_failed_total",
+		"Operations answered with an error token.",
+		func() float64 { return u(b.Stats().OpsFailed) })
+	reg.CounterFunc("broker_ops_rate_limited_total",
+		"Operations refused by admission control.",
+		func() float64 { return u(b.Stats().OpsRateLimited) })
+	reg.CounterFunc("broker_advs_published_total",
+		"Advertisements accepted via publishAdv.",
+		func() float64 { return u(b.Stats().AdvsPublished) })
+	reg.CounterFunc("broker_fed_advs_accepted_total",
+		"Federation-forwarded advertisements accepted into the cache.",
+		func() float64 { return u(b.Stats().FedAdvsAccepted) })
+	reg.CounterFunc("broker_fed_stale_presence_total",
+		"Federation presence updates discarded by the session guard.",
+		func() float64 { return u(b.Stats().FedStalePresence) })
+	reg.GaugeFunc("broker_peers_online",
+		"Peers currently logged in at this broker.",
+		func() float64 { return float64(b.Stats().PeersOnline) })
+	reg.GaugeFunc("broker_peers_known",
+		"Session records held (online and offline).",
+		func() float64 { return float64(b.Stats().PeersKnown) })
+
+	// Security extension: replay guard, signature caches, parsers. The
+	// replay and parse counters are process-wide aggregates (see their
+	// packages); on a one-broker-per-process deployment they are broker
+	// totals, in tests they aggregate every instance.
+	reg.CounterFunc("core_replay_rejected_total",
+		"Secure messages rejected as replays (digest/nonce already seen).",
+		func() float64 { r, _ := ReplayStats(); return u(r) })
+	reg.CounterFunc("core_stale_rejected_total",
+		"Secure messages rejected as stale (outside freshness window).",
+		func() float64 { _, s := ReplayStats(); return u(s) })
+	reg.CounterFunc("xmldoc_parse_canonical_total",
+		"ParseCanonical invocations.",
+		func() float64 { c, _ := xmldoc.ParseCanonicalStats(); return u(c) })
+	reg.CounterFunc("xmldoc_parse_failures_total",
+		"ParseCanonical invocations that returned an error.",
+		func() float64 { _, f := xmldoc.ParseCanonicalStats(); return u(f) })
+	reg.CounterFunc("advert_parse_total",
+		"Advertisement parses (cache misses in the signed-adv path).",
+		func() float64 { return u(advert.ParseCalls()) })
+	if bs != nil {
+		if vc := bs.VerifyCache(); vc != nil {
+			reg.CounterFunc("xdsig_verify_cache_hits_total",
+				"Signature verifications skipped by the verify cache.",
+				func() float64 { h, _ := vc.Stats(); return u(h) })
+			reg.CounterFunc("xdsig_verify_cache_misses_total",
+				"Signature verifications that ran crypto (cache misses).",
+				func() float64 { _, m := vc.Stats(); return u(m) })
+		}
+		if ts := bs.Trust(); ts != nil {
+			reg.CounterFunc("cred_chain_cache_hits_total",
+				"Credential chain validations answered from cache.",
+				func() float64 { h, _ := ts.ChainCacheStats(); return u(h) })
+			reg.CounterFunc("cred_chain_cache_misses_total",
+				"Credential chain validations walked in full.",
+				func() float64 { _, m := ts.ChainCacheStats(); return u(m) })
+		}
+	}
+
+	// Relay (store-and-forward) queues.
+	if rly != nil {
+		reg.CounterFunc("relay_delivered_direct_total",
+			"Slices handed to online recipients without queueing.",
+			func() float64 { return u(rly.Metrics().DeliveredDirect) })
+		reg.CounterFunc("relay_delivered_flushed_total",
+			"Queued slices delivered by a flush.",
+			func() float64 { return u(rly.Metrics().DeliveredFlushed) })
+		reg.CounterFunc("relay_handed_off_total",
+			"Slices forwarded to a federation partner broker.",
+			func() float64 { return u(rly.Metrics().HandedOff) })
+		reg.CounterFunc("relay_enqueued_total",
+			"Slices that entered an offline queue.",
+			func() float64 { return u(rly.Metrics().Enqueued) })
+		reg.CounterFunc("relay_dropped_overflow_total",
+			"Oldest slices dropped by full queues.",
+			func() float64 { return u(rly.Metrics().DroppedOverflow) })
+		reg.CounterFunc("relay_dropped_quota_total",
+			"Submissions refused by sender/group queue quotas.",
+			func() float64 { return u(rly.Metrics().DroppedQuota) })
+		reg.CounterFunc("relay_expired_total",
+			"Slices whose TTL ran out before delivery.",
+			func() float64 { return u(rly.Metrics().Expired) })
+		reg.CounterFunc("relay_deliver_errors_total",
+			"Failed delivery attempts (the slice is kept).",
+			func() float64 { return u(rly.Metrics().DeliverErrors) })
+		reg.CounterFunc("relay_wal_errors_total",
+			"Queue mutations the WAL failed to log.",
+			func() float64 { return u(rly.Metrics().WALErrors) })
+		reg.CounterFunc("relay_recovery_replayed_total",
+			"Slices rebuilt into queues at startup.",
+			func() float64 { return u(rly.Metrics().RecoveryReplayed) })
+		reg.GaugeFunc("relay_queued",
+			"Slices currently waiting in offline queues.",
+			func() float64 { return float64(rly.QueuedTotal()) })
+	}
+
+	// Admission control.
+	if adm != nil {
+		reg.CounterFunc("admission_allowed_total",
+			"Operations admitted by the rate limiter.",
+			func() float64 { return u(adm.Metrics().Allowed) })
+		reg.CounterFunc("admission_limited_total",
+			"Operations refused by the rate limiter.",
+			func() float64 { return u(adm.Metrics().Limited) })
+		reg.CounterFunc("admission_alerts_total",
+			"Offense-streak threshold crossings (SecurityAlerts).",
+			func() float64 { return u(adm.Metrics().Alerts) })
+		reg.GaugeFunc("admission_tracked",
+			"Credentials currently holding a token bucket.",
+			func() float64 { return float64(adm.Metrics().Tracked) })
+	}
+}

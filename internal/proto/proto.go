@@ -169,6 +169,10 @@ const (
 	// relay queue quota; distinct from ErrRelayOff so clients can back
 	// off instead of treating the relay as down.
 	ErrRelayQuota = "relay-quota-exceeded"
+	// ErrRateLimited means admission control refused the operation: the
+	// invoking credential exhausted its token bucket. The broker is
+	// healthy and other credentials are unaffected; back off and retry.
+	ErrRateLimited = "rate-limited"
 )
 
 // OpFedRelaySlice forwards one queued round slice broker-to-broker:

@@ -1,0 +1,365 @@
+// Package scenario drives reproducible whole-stack load scenarios —
+// named traffic shapes run against a complete in-process deployment
+// (broker, security extension, relay, admission control) on the
+// simulated network. Each run emits a schema-stable Summary that CI
+// archives and gates on: throughput, delivery latency quantiles, drops
+// by cause, and an explicit anomaly list. A scenario with a non-empty
+// anomaly list failed; everything else in the summary is evidence.
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jxtaoverlay/internal/admission"
+	"jxtaoverlay/internal/bench"
+	"jxtaoverlay/internal/broker"
+	"jxtaoverlay/internal/client"
+	"jxtaoverlay/internal/core"
+	"jxtaoverlay/internal/events"
+	"jxtaoverlay/internal/keys"
+	"jxtaoverlay/internal/membership"
+	"jxtaoverlay/internal/relay"
+	"jxtaoverlay/internal/simnet"
+	"jxtaoverlay/internal/telemetry"
+	"jxtaoverlay/internal/userdb"
+)
+
+// Names lists the runnable scenarios.
+func Names() []string {
+	return []string{"join-storm", "drain-spike", "parse-flood", "slow-sender"}
+}
+
+// Options parameterize a scenario run. Zero values take per-scenario
+// defaults, so Run(name, Options{}) is always valid.
+type Options struct {
+	// Clients is the peer population (0 = scenario default).
+	Clients int
+	// Rounds is the per-sender message (or flood-document) count
+	// (0 = scenario default).
+	Rounds int
+	// Profile names the simnet link profile: local, lan, wan
+	// ("" = lan).
+	Profile string
+	// Registry, when set, gets the deployment's telemetry collectors
+	// registered into it, so a /metrics endpoint serving it exposes the
+	// run live.
+	Registry *telemetry.Registry
+	// Timeout bounds the whole run (0 = 2 minutes).
+	Timeout time.Duration
+}
+
+// Summary is the machine-readable result of one scenario run. The
+// field set is the CI contract: fields may be added, never renamed or
+// removed, and every field is always present in the JSON (no omitempty
+// on gated fields), so downstream jq expressions cannot silently read
+// a missing key as null.
+type Summary struct {
+	Scenario     string  `json:"scenario"`
+	Profile      string  `json:"profile"`
+	Clients      int     `json:"clients"`
+	Rounds       int     `json:"rounds"`
+	DurationSec  float64 `json:"duration_sec"`
+	RoundsPerSec float64 `json:"rounds_per_sec"`
+	// Delivered counts the scenario's unit of successful work: logins
+	// for join-storm, secure message deliveries otherwise.
+	Delivered int64 `json:"delivered"`
+	// Delivery latency quantiles in milliseconds, measured end to end
+	// from the sender stamping the message to the recipient's event
+	// (for drain-spike this includes the queued wait — that is the
+	// point). Zero when the scenario recorded no deliveries.
+	P50DeliveryMS float64 `json:"p50_delivery_ms"`
+	P99DeliveryMS float64 `json:"p99_delivery_ms"`
+	// Drops counts losses by cause. Keys are stable: relay-overflow,
+	// relay-quota, relay-expired, relay-skipped, net-dropped,
+	// rate-limited. A cause that cannot occur in a scenario is simply
+	// absent; a present key is always a real count.
+	Drops map[string]int64 `json:"drops"`
+	// HostileRejected counts intentionally malformed inputs the stack
+	// refused (parse-flood). Rejections are the scenario succeeding,
+	// so they are not drops.
+	HostileRejected int64 `json:"hostile_rejected"`
+	// Alerts counts SecurityAlert events on the broker's bus.
+	Alerts int64 `json:"alerts"`
+	// Anomalies is the gate: human-readable descriptions of everything
+	// that deviated from the scenario's contract. Empty means pass.
+	Anomalies []string `json:"anomalies"`
+
+	// anomaly() is called from scenario worker goroutines.
+	mu sync.Mutex
+}
+
+func (s *Summary) anomaly(format string, args ...any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Anomalies = append(s.Anomalies, fmt.Sprintf(format, args...))
+}
+
+// Run executes one named scenario and returns its summary. The error
+// return is reserved for harness failures (bad name, setup errors);
+// scenario-level deviations land in Summary.Anomalies instead, so a
+// degraded run still produces its evidence.
+func Run(name string, opt Options) (*Summary, error) {
+	if opt.Profile == "" {
+		opt.Profile = "lan"
+	}
+	if opt.Timeout <= 0 {
+		opt.Timeout = 2 * time.Minute
+	}
+	profile, err := bench.ProfileByName(opt.Profile)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), opt.Timeout)
+	defer cancel()
+	switch name {
+	case "join-storm":
+		return joinStorm(ctx, opt, profile)
+	case "drain-spike":
+		return drainSpike(ctx, opt, profile)
+	case "parse-flood":
+		return parseFlood(ctx, opt, profile)
+	case "slow-sender":
+		return slowSender(ctx, opt, profile)
+	}
+	return nil, fmt.Errorf("scenario: unknown scenario %q (have %s)", name, strings.Join(Names(), ", "))
+}
+
+// --- shared harness ---
+
+// stack is one complete secure deployment on a seeded network: the
+// same seed and traffic shape replay the same run.
+type stack struct {
+	net *simnet.Network
+	dep *core.Deployment
+	br  *broker.Broker
+	bs  *core.BrokerSecurity
+	rly *relay.Relay
+	adm *admission.Limiter
+	db  *userdb.Store
+
+	alerts atomic.Int64
+
+	mu      sync.Mutex
+	closers []func()
+}
+
+func newStack(nClients int, profile simnet.LinkProfile, admCfg *admission.Config, relayCfg core.RelayConfig, reg *telemetry.Registry) (*stack, error) {
+	s := &stack{net: simnet.NewNetworkSeeded(profile, 42)}
+	s.closers = append(s.closers, s.net.Close)
+	ok := false
+	defer func() {
+		if !ok {
+			s.close()
+		}
+	}()
+
+	dep, err := core.NewDeployment("scn-admin", 0)
+	if err != nil {
+		return nil, err
+	}
+	s.dep = dep
+	s.db = userdb.NewStoreIter(128)
+	for i := 0; i < nClients; i++ {
+		if err := s.db.Register(user(i), pw(i), "plenary"); err != nil {
+			return nil, err
+		}
+	}
+	brKP, err := keys.NewKeyPair()
+	if err != nil {
+		return nil, err
+	}
+	brCred, err := dep.IssueBrokerCredential(brKP.Public(), "scn-broker", time.Hour)
+	if err != nil {
+		return nil, err
+	}
+	trust, err := dep.TrustStore()
+	if err != nil {
+		return nil, err
+	}
+	br, err := broker.New(broker.Config{
+		Name: "scn-broker", PeerID: brCred.Subject, Net: s.net,
+		DB: broker.AuthenticatorFunc(func(_ context.Context, u, p string) ([]string, error) {
+			return s.db.Authenticate(u, p)
+		}),
+		RequireSecureLogin: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.br = br
+	s.closers = append(s.closers, br.Close)
+	bs, err := core.EnableBrokerSecurity(br, core.BrokerConfig{
+		KeyPair: brKP, Credential: brCred, Trust: trust, RequireSignedAdvs: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.bs = bs
+	rly, err := core.EnableBrokerRelay(br, relayCfg)
+	if err != nil {
+		return nil, err
+	}
+	s.rly = rly
+	s.closers = append(s.closers, rly.Close)
+	if admCfg != nil {
+		s.adm = admission.New(*admCfg)
+		br.EnableAdmission(s.adm)
+	}
+	br.Bus().Subscribe(events.SecurityAlert, func(events.Event) { s.alerts.Add(1) })
+	if reg != nil {
+		core.RegisterBrokerTelemetry(reg, br, bs, rly, s.adm)
+	}
+	ok = true
+	return s, nil
+}
+
+func (s *stack) close() {
+	s.mu.Lock()
+	closers := s.closers
+	s.closers = nil
+	s.mu.Unlock()
+	for i := len(closers) - 1; i >= 0; i-- {
+		closers[i]()
+	}
+}
+
+func (s *stack) onClose(f func()) {
+	s.mu.Lock()
+	s.closers = append(s.closers, f)
+	s.mu.Unlock()
+}
+
+// join brings one secure client up: connect, verify, login.
+func (s *stack) join(ctx context.Context, i int, rec *recorder) (*core.SecureClient, error) {
+	cl, err := client.New(s.net, membership.NewPSE("", 0), user(i))
+	if err != nil {
+		return nil, err
+	}
+	s.onClose(func() { cl.Close() })
+	trust, err := s.dep.TrustStore()
+	if err != nil {
+		return nil, err
+	}
+	sc, err := core.NewSecureClient(cl, trust)
+	if err != nil {
+		return nil, err
+	}
+	if rec != nil {
+		rec.watch(cl.Bus())
+	}
+	if err := sc.SecureConnection(ctx, s.br.PeerID()); err != nil {
+		return nil, fmt.Errorf("%s secureConnection: %w", user(i), err)
+	}
+	if err := sc.SecureLogin(ctx, pw(i)); err != nil {
+		return nil, fmt.Errorf("%s secureLogin: %w", user(i), err)
+	}
+	return sc, nil
+}
+
+func user(i int) string { return fmt.Sprintf("peer%03d", i) }
+func pw(i int) string   { return fmt.Sprintf("pw-%03d", i) }
+
+// --- delivery latency recording ---
+
+// stamp prefixes a message text with the send instant so any recipient
+// can compute the end-to-end delivery delay without shared state.
+func stamp(text string) string {
+	return "t:" + strconv.FormatInt(time.Now().UnixNano(), 10) + "|" + text
+}
+
+// recorder accumulates per-delivery latencies from SecureMessage
+// events carrying stamped texts.
+type recorder struct {
+	mu  sync.Mutex
+	lat []time.Duration
+	by  map[keys.PeerID]int64 // deliveries by sender
+}
+
+func newRecorder() *recorder { return &recorder{by: make(map[keys.PeerID]int64)} }
+
+func (r *recorder) watch(bus *events.Bus) {
+	bus.Subscribe(events.SecureMessage, func(e events.Event) {
+		text := string(e.Data)
+		if !strings.HasPrefix(text, "t:") {
+			return
+		}
+		nanosStr, _, ok := strings.Cut(text[2:], "|")
+		if !ok {
+			return
+		}
+		nanos, err := strconv.ParseInt(nanosStr, 10, 64)
+		if err != nil {
+			return
+		}
+		d := time.Since(time.Unix(0, nanos))
+		r.mu.Lock()
+		r.lat = append(r.lat, d)
+		r.by[e.From]++
+		r.mu.Unlock()
+	})
+}
+
+func (r *recorder) count() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return int64(len(r.lat))
+}
+
+func (r *recorder) bySender(id keys.PeerID) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.by[id]
+}
+
+// quantiles returns the p50/p99 delivery latency in milliseconds.
+func (r *recorder) quantiles() (p50, p99 float64) {
+	r.mu.Lock()
+	lat := append([]time.Duration(nil), r.lat...)
+	r.mu.Unlock()
+	return quantileMS(lat, 0.50), quantileMS(lat, 0.99)
+}
+
+func quantileMS(lat []time.Duration, q float64) float64 {
+	if len(lat) == 0 {
+		return 0
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	idx := int(q * float64(len(lat)))
+	if idx >= len(lat) {
+		idx = len(lat) - 1
+	}
+	return float64(lat[idx]) / float64(time.Millisecond)
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(ctx context.Context, d time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) && ctx.Err() == nil {
+		if cond() {
+			return true
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return cond()
+}
+
+// relayDrops folds the relay's loss counters into the summary's drops
+// map and reports them as anomalies: no scenario here is allowed to
+// shed relay traffic.
+func relayDrops(sum *Summary, m relay.Metrics) {
+	sum.Drops["relay-overflow"] = int64(m.DroppedOverflow)
+	sum.Drops["relay-quota"] = int64(m.DroppedQuota)
+	sum.Drops["relay-expired"] = int64(m.Expired)
+	for _, k := range []string{"relay-overflow", "relay-quota", "relay-expired"} {
+		if n := sum.Drops[k]; n > 0 {
+			sum.anomaly("%d slices lost to %s", n, k)
+		}
+	}
+}

@@ -1,0 +1,394 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"jxtaoverlay/internal/admission"
+	"jxtaoverlay/internal/core"
+	"jxtaoverlay/internal/endpoint"
+	"jxtaoverlay/internal/proto"
+	"jxtaoverlay/internal/simnet"
+)
+
+// joinStorm brings the whole population up at once: every client runs
+// secureConnection + secureLogin concurrently against one broker. The
+// summary's latency quantiles are per-join wall times and Delivered is
+// the count of successful joins — the scenario fails if any peer is
+// turned away or the storm trips a security alert.
+func joinStorm(ctx context.Context, opt Options, profile simnet.LinkProfile) (*Summary, error) {
+	n := opt.Clients
+	if n <= 0 {
+		n = 20
+	}
+	sum := &Summary{Scenario: "join-storm", Profile: opt.Profile, Clients: n, Rounds: 1,
+		Drops: map[string]int64{}, Anomalies: []string{}}
+	s, err := newStack(n, profile, nil, core.RelayConfig{}, opt.Registry)
+	if err != nil {
+		return nil, err
+	}
+	defer s.close()
+
+	var (
+		mu       sync.Mutex
+		joinLat  []time.Duration
+		failures []string
+		wg       sync.WaitGroup
+	)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			t0 := time.Now()
+			_, err := s.join(ctx, i, nil)
+			d := time.Since(t0)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				failures = append(failures, err.Error())
+				return
+			}
+			joinLat = append(joinLat, d)
+		}(i)
+	}
+	wg.Wait()
+	dur := time.Since(start)
+
+	sum.DurationSec = dur.Seconds()
+	sum.Delivered = int64(len(joinLat))
+	if dur > 0 {
+		sum.RoundsPerSec = float64(len(joinLat)) / dur.Seconds()
+	}
+	sum.P50DeliveryMS = quantileMS(joinLat, 0.50)
+	sum.P99DeliveryMS = quantileMS(joinLat, 0.99)
+	for _, f := range failures {
+		sum.anomaly("join failed: %s", f)
+	}
+	if on := s.br.Stats().PeersOnline; on != len(joinLat) {
+		sum.anomaly("broker sees %d peers online, %d logged in", on, len(joinLat))
+	}
+	finish(sum, s)
+	return sum, nil
+}
+
+// drainSpike fills the relay's offline queues and then releases them
+// all at once: a third of the peers log out, the rest upload their
+// rounds (slicing queues the absentees' copies), and the absentees
+// re-login simultaneously — the drain spike. Delivery latency for a
+// queued slice spans its owner's offline time by design; the gate is
+// that every addressed slice arrives and nothing is shed.
+func drainSpike(ctx context.Context, opt Options, profile simnet.LinkProfile) (*Summary, error) {
+	n := opt.Clients
+	if n <= 0 {
+		n = 12
+	}
+	rounds := opt.Rounds
+	if rounds <= 0 {
+		rounds = 3
+	}
+	sum := &Summary{Scenario: "drain-spike", Profile: opt.Profile, Clients: n, Rounds: rounds,
+		Drops: map[string]int64{}, Anomalies: []string{}}
+	// Size each offline queue to the whole intended backlog: every
+	// online sender addresses every churned peer each round, and an
+	// overflow drop here must mean a relay bug, not an undersized
+	// scenario default.
+	relayCfg := core.RelayConfig{}
+	relayCfg.QueueCap = n*rounds + 16
+	s, err := newStack(n, profile, nil, relayCfg, opt.Registry)
+	if err != nil {
+		return nil, err
+	}
+	defer s.close()
+
+	rec := newRecorder()
+	clients := make([]*core.SecureClient, n)
+	for i := 0; i < n; i++ {
+		if clients[i], err = s.join(ctx, i, rec); err != nil {
+			return nil, err
+		}
+	}
+	var churned []int
+	for i := 0; i < n; i++ {
+		if i%3 == 2 {
+			churned = append(churned, i)
+		}
+	}
+	for _, i := range churned {
+		if err := clients[i].Logout(ctx); err != nil {
+			return nil, fmt.Errorf("%s logout: %w", user(i), err)
+		}
+	}
+
+	start := time.Now()
+	uploads := 0
+	for round := 0; round < rounds; round++ {
+		for i, sc := range clients {
+			if i%3 == 2 {
+				continue
+			}
+			text := stamp(fmt.Sprintf("round %d from %s", round, user(i)))
+			if _, _, err := sc.SecureMsgPeerGroupRelay(ctx, "plenary", text); err != nil {
+				sum.anomaly("%s round %d upload: %v", user(i), round, err)
+				continue
+			}
+			uploads++
+		}
+	}
+
+	// The spike: every churned peer returns at once; the relay's shard
+	// workers drain each queue on the presence event.
+	var wg sync.WaitGroup
+	for _, i := range churned {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sc := clients[i]
+			if err := sc.SecureConnection(ctx, s.br.PeerID()); err != nil {
+				sum.anomaly("%s re-connect: %v", user(i), err)
+				return
+			}
+			if err := sc.SecureLogin(ctx, pw(i)); err != nil {
+				sum.anomaly("%s re-login: %v", user(i), err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Every upload addresses all other group members exactly once.
+	senders := n - len(churned)
+	expected := int64(uploads * (n - 1))
+	if !waitFor(ctx, 30*time.Second, func() bool { return rec.count() >= expected && s.rly.QueuedTotal() == 0 }) {
+		// fall through: the shortfall is reported below
+	}
+	dur := time.Since(start)
+
+	sum.DurationSec = dur.Seconds()
+	if dur > 0 {
+		sum.RoundsPerSec = float64(uploads) / dur.Seconds()
+	}
+	sum.Delivered = rec.count()
+	sum.P50DeliveryMS, sum.P99DeliveryMS = rec.quantiles()
+	if got := rec.count(); got != expected {
+		sum.anomaly("delivered %d of %d addressed slices (%d senders)", got, expected, senders)
+	}
+	if residual := s.rly.QueuedTotal(); residual != 0 {
+		sum.anomaly("%d slices still queued after drain", residual)
+	}
+	finish(sum, s)
+	return sum, nil
+}
+
+// hostileDocs are the parser attack corpus: each would cost an
+// expanding or recursing parser far more than its wire size, and each
+// must be refused by the broker's canonical grammar at the scanned
+// prefix. They cycle through the flood.
+func hostileDocs() [][]byte {
+	var bomb strings.Builder
+	bomb.WriteString(`<!DOCTYPE lolz [<!ENTITY lol "lol">`)
+	for i := 1; i <= 9; i++ {
+		fmt.Fprintf(&bomb, `<!ENTITY lol%d "`, i)
+		for j := 0; j < 10; j++ {
+			fmt.Fprintf(&bomb, "&lol%d;", i-1)
+		}
+		bomb.WriteString(`">`)
+	}
+	bomb.WriteString("]><PipeAdvertisement><Id>&lol9;</Id></PipeAdvertisement>")
+	return [][]byte{
+		[]byte(bomb.String()),
+		[]byte(strings.Repeat("<A>", 50_000)),
+		[]byte(`<?xml version="1.0"?><PipeAdvertisement></PipeAdvertisement>`),
+		[]byte("<PipeAdvertisement><!-- smuggled --><Id>x</Id></PipeAdvertisement>"),
+		[]byte("\x00\xff\xfenot xml at all"),
+		[]byte("<PipeAdvertisement><Id>unclosed"),
+	}
+}
+
+// parseFlood hammers the broker's publishAdv surface with malformed
+// documents from one logged-in credential while a bystander keeps
+// doing legitimate work. The contract: every hostile document is
+// refused (none reaches the advertisement cache), and the bystander
+// never notices the flood.
+func parseFlood(ctx context.Context, opt Options, profile simnet.LinkProfile) (*Summary, error) {
+	n := opt.Clients
+	if n <= 0 {
+		n = 4
+	}
+	if n < 2 {
+		n = 2
+	}
+	floods := opt.Rounds
+	if floods <= 0 {
+		floods = 60
+	}
+	sum := &Summary{Scenario: "parse-flood", Profile: opt.Profile, Clients: n, Rounds: floods,
+		Drops: map[string]int64{}, Anomalies: []string{}}
+	// Admission stays on but far above the flood rate: the scenario
+	// isolates the parser, not the rate limiter.
+	s, err := newStack(n, profile, &admission.Config{Rate: 10_000, Burst: 10_000}, core.RelayConfig{}, opt.Registry)
+	if err != nil {
+		return nil, err
+	}
+	defer s.close()
+
+	rec := newRecorder()
+	clients := make([]*core.SecureClient, n)
+	for i := 0; i < n; i++ {
+		if clients[i], err = s.join(ctx, i, rec); err != nil {
+			return nil, err
+		}
+	}
+	flooder, bystander := clients[0], clients[1]
+	advsBefore := s.br.Stats().AdvsPublished
+	docs := hostileDocs()
+
+	var bystanderLat []time.Duration
+	start := time.Now()
+	for i := 0; i < floods; i++ {
+		msg := endpoint.NewMessage().
+			AddString(proto.ElemOp, proto.OpPublishAdv).
+			AddXML(proto.ElemAdv, docs[i%len(docs)])
+		if _, err := flooder.Call(ctx, msg); err == nil {
+			sum.anomaly("hostile document %d accepted by publishAdv", i)
+		} else {
+			sum.HostileRejected++
+		}
+		// Interleave a legitimate op: the flood must not starve it. The
+		// final iteration always probes, so even a tiny flood measures
+		// at least one bystander round trip.
+		if i%10 == 5 || i == floods-1 {
+			t0 := time.Now()
+			if _, err := bystander.GetOnlinePeers(ctx, "plenary"); err != nil {
+				sum.anomaly("bystander op failed mid-flood: %v", err)
+			} else {
+				bystanderLat = append(bystanderLat, time.Since(t0))
+			}
+		}
+	}
+	dur := time.Since(start)
+
+	sum.DurationSec = dur.Seconds()
+	if dur > 0 {
+		sum.RoundsPerSec = float64(floods) / dur.Seconds()
+	}
+	// Delivered is the bystander's successful ops; its quantiles show
+	// what the flood cost legitimate traffic.
+	sum.Delivered = int64(len(bystanderLat))
+	sum.P50DeliveryMS = quantileMS(bystanderLat, 0.50)
+	sum.P99DeliveryMS = quantileMS(bystanderLat, 0.99)
+	if accepted := s.br.Stats().AdvsPublished - advsBefore; accepted != 0 {
+		sum.anomaly("%d hostile advertisements entered the cache", accepted)
+	}
+	finish(sum, s)
+	return sum, nil
+}
+
+// slowSender degrades one peer's link (high latency, trickle
+// bandwidth) while the whole population exchanges relayed rounds. The
+// contract is isolation: the fast peers' traffic completes in full and
+// their latency reflects their own links, not the slow peer's.
+func slowSender(ctx context.Context, opt Options, profile simnet.LinkProfile) (*Summary, error) {
+	n := opt.Clients
+	if n <= 0 {
+		n = 8
+	}
+	if n < 3 {
+		n = 3
+	}
+	rounds := opt.Rounds
+	if rounds <= 0 {
+		rounds = 3
+	}
+	sum := &Summary{Scenario: "slow-sender", Profile: opt.Profile, Clients: n, Rounds: rounds,
+		Drops: map[string]int64{}, Anomalies: []string{}}
+	// Everyone stays online, but a recipient mid-drain can still queue
+	// briefly; size the queues to the full round volume anyway.
+	relayCfg := core.RelayConfig{}
+	relayCfg.QueueCap = n*rounds + 16
+	s, err := newStack(n, profile, nil, relayCfg, opt.Registry)
+	if err != nil {
+		return nil, err
+	}
+	defer s.close()
+
+	rec := newRecorder()
+	clients := make([]*core.SecureClient, n)
+	for i := 0; i < n; i++ {
+		if clients[i], err = s.join(ctx, i, rec); err != nil {
+			return nil, err
+		}
+	}
+	// The last peer gets a degraded path to everyone, broker included.
+	slow := clients[n-1]
+	slowLink := simnet.LinkProfile{Latency: 60 * time.Millisecond, Jitter: 2 * time.Millisecond, Bandwidth: 100_000}
+	s.net.SetLink(simnet.NodeID(slow.PeerID()), simnet.NodeID(s.br.PeerID()), slowLink)
+	for i := 0; i < n-1; i++ {
+		s.net.SetLink(simnet.NodeID(slow.PeerID()), simnet.NodeID(clients[i].PeerID()), slowLink)
+	}
+
+	start := time.Now()
+	uploads := 0
+	var wg sync.WaitGroup
+	for i, sc := range clients {
+		wg.Add(1)
+		go func(i int, sc *core.SecureClient) {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				text := stamp(fmt.Sprintf("round %d from %s", round, user(i)))
+				if _, _, err := sc.SecureMsgPeerGroupRelay(ctx, "plenary", text); err != nil {
+					sum.anomaly("%s round %d upload: %v", user(i), round, err)
+				}
+			}
+		}(i, sc)
+	}
+	wg.Wait()
+	uploads = n * rounds
+
+	expected := int64(uploads * (n - 1))
+	waitFor(ctx, 60*time.Second, func() bool { return rec.count() >= expected })
+	dur := time.Since(start)
+
+	sum.DurationSec = dur.Seconds()
+	if dur > 0 {
+		sum.RoundsPerSec = float64(uploads) / dur.Seconds()
+	}
+	sum.Delivered = rec.count()
+	sum.P50DeliveryMS, sum.P99DeliveryMS = rec.quantiles()
+	if got := rec.count(); got != expected {
+		sum.anomaly("delivered %d of %d addressed slices", got, expected)
+	}
+	// Isolation check: deliveries from fast senders must all have
+	// arrived; a fast sender held hostage by the slow peer's link shows
+	// up as a shortfall here even when the totals eventually catch up.
+	for i := 0; i < n-1; i++ {
+		want := int64(rounds * (n - 1))
+		if got := rec.bySender(clients[i].PeerID()); got != want {
+			sum.anomaly("fast sender %s delivered %d of %d", user(i), got, want)
+		}
+	}
+	finish(sum, s)
+	return sum, nil
+}
+
+// finish folds the harness-wide evidence (relay losses, network drops,
+// security alerts, rate-limit refusals) into the summary.
+func finish(sum *Summary, s *stack) {
+	relayDrops(sum, s.rly.Metrics())
+	ns := s.net.Stats()
+	sum.Drops["net-dropped"] = int64(ns.Dropped)
+	if ns.Dropped > 0 {
+		sum.anomaly("%d frames dropped by the network", ns.Dropped)
+	}
+	st := s.br.Stats()
+	sum.Drops["rate-limited"] = int64(st.OpsRateLimited)
+	if st.OpsRateLimited > 0 {
+		sum.anomaly("%d operations rate-limited", st.OpsRateLimited)
+	}
+	sum.Alerts = s.alerts.Load()
+	if sum.Alerts > 0 {
+		sum.anomaly("%d security alerts raised", sum.Alerts)
+	}
+}

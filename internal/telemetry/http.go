@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Handler returns an http.Handler exposing the registry:
+//
+//	GET /metrics       Prometheus-style text exposition
+//	GET /metrics.json  JSON array of Samples (admin metrics consumes this)
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+	return mux
+}
+
+// Server is a running metrics endpoint.
+type Server struct {
+	srv  *http.Server
+	addr string
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.addr }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return s.srv.Shutdown(ctx)
+}
+
+// Serve exposes the registry on addr (e.g. "127.0.0.1:9090", or ":0"
+// for an ephemeral port) and returns once the listener is bound, so
+// callers can read Addr immediately.
+func (r *Registry) Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: r.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{srv: srv, addr: ln.Addr().String()}, nil
+}
+
+// Fetch retrieves a snapshot from a running endpoint's /metrics.json.
+// The base URL may be "host:port", "http://host:port" or the full
+// ".../metrics.json" path — the tool-facing forms `admin metrics`
+// accepts.
+func Fetch(ctx context.Context, base string) ([]Sample, error) {
+	url := base
+	if len(url) < 7 || (url[:7] != "http://" && (len(url) < 8 || url[:8] != "https://")) {
+		url = "http://" + url
+	}
+	if len(url) < len("/metrics.json") || url[len(url)-len("/metrics.json"):] != "/metrics.json" {
+		url += "/metrics.json"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("telemetry: %s returned %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return nil, err
+	}
+	var samples []Sample
+	if err := json.Unmarshal(body, &samples); err != nil {
+		return nil, fmt.Errorf("telemetry: bad snapshot from %s: %w", url, err)
+	}
+	return samples, nil
+}
+
+// RenderText formats fetched samples the way WriteText renders a live
+// registry (without help text, which does not travel in JSON).
+func RenderText(w io.Writer, samples []Sample) error {
+	for _, s := range samples {
+		if s.Kind == "histogram" {
+			if _, err := fmt.Fprintf(w, "%-52s count=%d sum=%g\n", s.Name, s.Count, s.Sum); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%-52s %g\n", s.Name, s.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}

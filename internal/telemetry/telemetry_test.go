@@ -1,0 +1,201 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeSnapshot(t *testing.T) {
+	r := New()
+	c := r.Counter("relay_enqueued_total", "items queued")
+	g := r.Gauge("relay_queued", "items currently queued")
+	r.GaugeFunc("verify_cache_hits_total", "cache hits", func() float64 { return 42 })
+	c.Add(3)
+	c.Inc()
+	g.Set(7)
+	g.Add(-2)
+
+	snap := r.Snapshot()
+	want := map[string]float64{
+		"relay_enqueued_total":    4,
+		"relay_queued":            5,
+		"verify_cache_hits_total": 42,
+	}
+	if len(snap) != len(want) {
+		t.Fatalf("snapshot has %d samples, want %d", len(snap), len(want))
+	}
+	for _, s := range snap {
+		if want[s.Name] != s.Value {
+			t.Errorf("%s = %g, want %g", s.Name, s.Value, want[s.Name])
+		}
+	}
+	// Sorted by name.
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Name >= snap[i].Name {
+			t.Errorf("snapshot not sorted: %q before %q", snap[i-1].Name, snap[i].Name)
+		}
+	}
+}
+
+func TestCounterIdempotentByName(t *testing.T) {
+	r := New()
+	a := r.Counter("x_total", "")
+	b := r.Counter("x_total", "")
+	if a != b {
+		t.Fatal("same name returned distinct counters")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("counter identity broken")
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := New()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("m", "")
+}
+
+func TestGaugeFuncRebind(t *testing.T) {
+	// A restarted subsystem re-registers its collectors; the name must
+	// follow the live instance, not the dead closure.
+	r := New()
+	r.GaugeFunc("relay_queued", "", func() float64 { return 1 })
+	r.GaugeFunc("relay_queued", "", func() float64 { return 2 })
+	if v, _ := r.Get("relay_queued"); v != 2 {
+		t.Fatalf("collector not rebound: got %g, want 2", v)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := New()
+	h := r.Histogram("delivery_ms", "", []float64{1, 2, 4, 8, 16})
+	for i := 0; i < 90; i++ {
+		h.Observe(0.5) // first bucket
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(10) // (8,16] bucket
+	}
+	if p50 := h.Quantile(0.5); p50 > 1 {
+		t.Errorf("p50 = %g, want <= 1", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 <= 8 || p99 > 16 {
+		t.Errorf("p99 = %g, want in (8,16]", p99)
+	}
+	if q := h.Quantile(1); q > 16 {
+		t.Errorf("p100 = %g, want <= 16", q)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	r := New()
+	h := r.Histogram("d", "", []float64{1})
+	h.Observe(100)
+	if q := h.Quantile(0.99); !(q == 1 || math.IsInf(q, 1)) {
+		// Overflow observations clamp to the largest finite bound.
+		t.Errorf("overflow quantile = %g", q)
+	}
+	snap := r.Snapshot()
+	if snap[0].Buckets[1] != 1 {
+		t.Errorf("overflow bucket = %d, want 1", snap[0].Buckets[1])
+	}
+}
+
+func TestWriteTextFormat(t *testing.T) {
+	r := New()
+	r.Counter("ops_total", "dispatched broker operations").Add(9)
+	h := r.Histogram("lat_ms", "", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP ops_total dispatched broker operations",
+		"# TYPE ops_total counter",
+		"ops_total 9",
+		`lat_ms_bucket{le="1"} 1`,
+		`lat_ms_bucket{le="10"} 2`,
+		`lat_ms_bucket{le="+Inf"} 2`,
+		"lat_ms_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestServeAndFetch(t *testing.T) {
+	r := New()
+	r.Counter("relay_direct_total", "").Add(5)
+	r.GaugeFunc("parse_failures_total", "", func() float64 { return 3 })
+	srv, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	// All three address forms admin metrics accepts.
+	for _, base := range []string{srv.Addr(), "http://" + srv.Addr(), "http://" + srv.Addr() + "/metrics.json"} {
+		samples, err := Fetch(ctx, base)
+		if err != nil {
+			t.Fatalf("Fetch(%q): %v", base, err)
+		}
+		got := map[string]float64{}
+		for _, s := range samples {
+			got[s.Name] = s.Value
+		}
+		if got["relay_direct_total"] != 5 || got["parse_failures_total"] != 3 {
+			t.Fatalf("Fetch(%q) returned %v", base, got)
+		}
+	}
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	r := New()
+	c := r.Counter("c", "")
+	h := r.Histogram("h", "", LatencyBucketsMS)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(float64(j % 50))
+				r.Counter("c", "").Add(1) // registration race path
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { // concurrent snapshots
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				r.Snapshot()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	if c.Value() != 16000 {
+		t.Fatalf("counter = %d, want 16000", c.Value())
+	}
+}

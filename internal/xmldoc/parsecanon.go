@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"unicode/utf8"
 	"unsafe"
 )
@@ -63,6 +64,22 @@ const maxCanonicalDepth = 64
 
 func canonErr(pos int, what string) error {
 	return fmt.Errorf("%w (%s at byte %d)", ErrCanonicalSyntax, what, pos)
+}
+
+// Process-wide ingest counters. ParseCanonical guards every wire
+// receive surface in the system, so its failure count IS the "malformed
+// input reaching us" signal operators watch; two uncontended atomic
+// adds against a multi-microsecond parse are measurement noise (the
+// gated ParseCold benchmark holds this path to its baseline).
+var (
+	parseCanonCalls    atomic.Uint64
+	parseCanonFailures atomic.Uint64
+)
+
+// ParseCanonicalStats reports how many ParseCanonical calls have run
+// process-wide and how many of them rejected their input.
+func ParseCanonicalStats() (calls, failures uint64) {
+	return parseCanonCalls.Load(), parseCanonFailures.Load()
 }
 
 // internedNames maps the fixed element/attribute vocabulary to shared
@@ -153,6 +170,15 @@ type canonParser struct {
 // The returned tree references data; the caller must not modify data
 // afterwards.
 func ParseCanonical(data []byte) (*Element, error) {
+	root, err := parseCanonical(data)
+	parseCanonCalls.Add(1)
+	if err != nil {
+		parseCanonFailures.Add(1)
+	}
+	return root, err
+}
+
+func parseCanonical(data []byte) (*Element, error) {
 	if len(data) == 0 {
 		return nil, ErrEmptyDocument
 	}

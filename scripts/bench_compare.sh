@@ -69,7 +69,7 @@ if [ -z "$current" ]; then
     current=$(mktemp --suffix=.json)
     trap 'rm -f "$current"' EXIT
     echo "bench_compare: running gated benchmarks (baseline: $baseline)"
-    BENCH="${BENCH:-BenchmarkVerifyTrusted|BenchmarkFanOutSecure|BenchmarkSignedAdvertisement|BenchmarkParseCold|BenchmarkOpenSlice|BenchmarkRelayDelivery|BenchmarkRelayDrainDurable}" \
+    BENCH="${BENCH:-BenchmarkVerifyTrusted|BenchmarkFanOutSecure|BenchmarkSignedAdvertisement|BenchmarkParseCold|BenchmarkOpenSlice|BenchmarkRelayDelivery|BenchmarkRelayDrainDurable|BenchmarkTelemetryOverhead}" \
         BENCHTIME="${BENCHTIME:-1s}" BENCH_OUT="$current" ./scripts/bench.sh >/dev/null
 fi
 [ -r "$current" ] || { echo "bench_compare: unreadable current $current" >&2; exit 2; }
@@ -166,6 +166,35 @@ gate_allocs "BenchmarkFanOutSecure/recipients100" 100 "FanOutSecure per-recipien
 gate_allocs "BenchmarkParseCold/canonical" 1 "ParseCold fast path allocs"
 gate_allocs "BenchmarkOpenSlice" 1 "OpenSlice receive allocs"
 gate_allocs "BenchmarkRelayDrainDurable/recipients100" 100 "RelayDrainDurable per-slice allocs (N=100)"
+
+# Telemetry instrument ceilings: the inline counter/histogram are what
+# instrumented hot paths pay PER EVENT, so they are held to absolute
+# nanosecond ceilings and exactly zero allocations — from the CURRENT
+# snapshot only. No baseline comparison: "free" is an absolute claim,
+# and a ceiling (unlike a relative gate) cannot ratchet upward across
+# PRs. The ceilings are generous for slow runners; the alloc gate is
+# the sharp edge.
+telemetry_counter_max="${BENCH_TELEMETRY_COUNTER_MAX_NS:-50}"
+telemetry_hist_max="${BENCH_TELEMETRY_HIST_MAX_NS:-150}"
+gate_ceiling() {
+    local name="$1" max="$2" label="$3" cur curAllocs
+    cur=$(ns_of "$current" "$name")
+    curAllocs=$(allocs_of "$current" "$name")
+    if [ -z "$cur" ] || [ -z "$curAllocs" ]; then
+        echo "bench_compare: $name missing from current snapshot" >&2
+        fail=1
+        return
+    fi
+    awk -v cur="$cur" -v max="$max" -v allocs="$curAllocs" -v label="$label" '
+    BEGIN {
+        bad = (cur > max) || (allocs > 0)
+        status = bad ? "FAIL" : "ok"
+        printf "%-42s %14s %14.4g %8sns %s\n", label, "<=" max "ns/0alloc", cur, allocs "a", status
+        exit bad ? 1 : 0
+    }' || fail=1
+}
+gate_ceiling "BenchmarkTelemetryOverhead/counter" "$telemetry_counter_max" "Telemetry counter Inc"
+gate_ceiling "BenchmarkTelemetryOverhead/histogram" "$telemetry_hist_max" "Telemetry histogram Observe"
 
 # Persistence-tax ratio: durable drain vs in-memory drain, both from the
 # CURRENT snapshot (same machine, same run), so this bound is absolute
