@@ -33,6 +33,7 @@ import (
 	"jxtaoverlay/internal/parallel"
 	"jxtaoverlay/internal/relay"
 	"jxtaoverlay/internal/telemetry"
+	"jxtaoverlay/internal/trace"
 	"jxtaoverlay/internal/xdsig"
 	"jxtaoverlay/internal/xmldoc"
 )
@@ -951,6 +952,51 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			backing.Add(1)
 			if s := reg.Snapshot(); len(s) == 0 {
+				b.Fatal("empty snapshot")
+			}
+		}
+	})
+}
+
+// BenchmarkTraceOverhead prices the span recorder at its three
+// operating points. "unsampled" is the one that matters: it is what
+// every instrumented operation pays when its trace lost the sampling
+// coin flip — the budget is a Begin timestamp, the seeded hash compare
+// and one atomic load, with ZERO heap allocations (gated absolutely in
+// bench_compare.sh). "sampled" adds the ring write under a shard
+// mutex; "read" is the /debug/traces scrape cost, which allocates by
+// design (it builds a sorted copy) and is priced on wall time only.
+func BenchmarkTraceOverhead(b *testing.B) {
+	b.Run("unsampled", func(b *testing.B) {
+		rec := trace.New(trace.Config{SampleRate: 0, Seed: 42})
+		id := rec.NewID()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sp := trace.Begin(id, trace.StageSend)
+			rec.End(sp, trace.OutcomeOK)
+		}
+	})
+	b.Run("sampled", func(b *testing.B) {
+		rec := trace.New(trace.Config{SampleRate: 1, Seed: 42, Shards: 4, ShardCap: 4096})
+		id := rec.NewID()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sp := trace.Begin(id, trace.StageSend)
+			rec.End(sp, trace.OutcomeOK)
+		}
+	})
+	b.Run("read", func(b *testing.B) {
+		rec := trace.New(trace.Config{SampleRate: 1, Seed: 42, Shards: 4, ShardCap: 1024})
+		for i := 0; i < 4096; i++ {
+			sp := trace.Begin(rec.NewID(), trace.StageSend)
+			rec.End(sp, trace.OutcomeOK)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if s := rec.Snapshot(); len(s) == 0 {
 				b.Fatal("empty snapshot")
 			}
 		}

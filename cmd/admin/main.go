@@ -9,20 +9,24 @@
 //	admin adduser -dir deploy/ -user alice -pass pw -groups math,art
 //	admin users   -dir deploy/                      list registered users
 //	admin metrics -url localhost:9090               snapshot a broker's telemetry
+//	admin trace   -url localhost:9090               dump captured message-lifecycle traces
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net/url"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
 	"jxtaoverlay/internal/core"
 	"jxtaoverlay/internal/keys"
 	"jxtaoverlay/internal/telemetry"
+	"jxtaoverlay/internal/trace"
 	"jxtaoverlay/internal/userdb"
 )
 
@@ -42,6 +46,8 @@ func main() {
 		err = cmdUsers(os.Args[2:])
 	case "metrics":
 		err = cmdMetrics(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
 	default:
 		usage()
 	}
@@ -52,12 +58,13 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: admin <init|broker|adduser|users|metrics> [flags]
+	fmt.Fprintln(os.Stderr, `usage: admin <init|broker|adduser|users|metrics|trace> [flags]
   init    -dir DIR [-name admin] [-bits 1024]
   broker  -dir DIR -name NAME [-validity 8760h]
   adduser -dir DIR -user USER -pass PASS [-groups g1,g2]
   users   -dir DIR
-  metrics -url HOST:PORT [-timeout 5s]`)
+  metrics -url HOST:PORT [-timeout 5s]
+  trace   -url HOST:PORT [-trace HEXID] [-stage NAME] [-outcome NAME] [-min DUR] [-timeout 5s]`)
 	os.Exit(2)
 }
 
@@ -216,4 +223,87 @@ func cmdMetrics(args []string) error {
 		return fmt.Errorf("metrics: %w", err)
 	}
 	return telemetry.RenderText(os.Stdout, samples)
+}
+
+// cmdTrace pulls the span capture buffer from a running process (e.g.
+// `overlaysim -trace-sample 1 -metrics localhost:9090`) and renders a
+// per-trace stage waterfall: spans grouped by trace ID, ordered by
+// start time, each with its offset from the trace's first span.
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	endpoint := fs.String("url", "localhost:9090", "trace endpoint (host:port or full URL)")
+	traceID := fs.String("trace", "", "only the trace with this hex ID")
+	stage := fs.String("stage", "", "only spans of this lifecycle stage (e.g. seal, wal-fsync, open)")
+	outcome := fs.String("outcome", "", "only spans with this outcome (e.g. ok, rate-limited, security-alert)")
+	minDur := fs.Duration("min", 0, "only spans at least this slow")
+	timeout := fs.Duration("timeout", 5*time.Second, "fetch timeout")
+	fs.Parse(args)
+
+	q := url.Values{}
+	if *traceID != "" {
+		q.Set("trace", *traceID)
+	}
+	if *stage != "" {
+		q.Set("stage", *stage)
+	}
+	if *outcome != "" {
+		q.Set("outcome", *outcome)
+	}
+	if *minDur > 0 {
+		q.Set("min_ms", fmt.Sprintf("%g", float64(*minDur)/float64(time.Millisecond)))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	page, err := trace.Fetch(ctx, *endpoint, q)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	fmt.Printf("%d spans recorded, %d dropped, %d matched\n", page.Recorded, page.Dropped, len(page.Spans))
+	renderWaterfalls(os.Stdout, page.Spans)
+	return nil
+}
+
+// renderWaterfalls groups spans by trace and prints each trace's stage
+// timeline. Traces print in order of their first span's start time.
+func renderWaterfalls(w *os.File, spans []trace.SpanJSON) {
+	byTrace := map[string][]trace.SpanJSON{}
+	var order []string
+	for _, sp := range spans {
+		if _, seen := byTrace[sp.Trace]; !seen {
+			order = append(order, sp.Trace)
+		}
+		byTrace[sp.Trace] = append(byTrace[sp.Trace], sp)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return byTrace[order[i]][0].StartNS < byTrace[order[j]][0].StartNS
+	})
+	for _, id := range order {
+		ss := byTrace[id]
+		sort.Slice(ss, func(i, j int) bool { return ss[i].StartNS < ss[j].StartNS })
+		t0 := ss[0].StartNS
+		// Span of the whole trace: last end minus first start.
+		endNS := t0
+		anomalous := false
+		for _, sp := range ss {
+			if e := sp.StartNS + int64(sp.DurationMS*float64(time.Millisecond)); e > endNS {
+				endNS = e
+			}
+			if sp.Outcome != "ok" && sp.Outcome != "error" {
+				anomalous = true
+			}
+		}
+		mark := ""
+		if anomalous {
+			mark = "  !"
+		}
+		fmt.Fprintf(w, "\ntrace %s  %d spans  %.3fms%s\n", id, len(ss), float64(endNS-t0)/float64(time.Millisecond), mark)
+		for _, sp := range ss {
+			offMS := float64(sp.StartNS-t0) / float64(time.Millisecond)
+			line := fmt.Sprintf("  +%9.3fms  %-12s %-22s %9.3fms", offMS, sp.Stage, sp.Outcome, sp.DurationMS)
+			for _, a := range sp.Attrs {
+				line += fmt.Sprintf("  %s=%s", a.Key, a.Value)
+			}
+			fmt.Fprintln(w, line)
+		}
+	}
 }

@@ -49,6 +49,7 @@ import (
 	"jxtaoverlay/internal/scenario"
 	"jxtaoverlay/internal/simnet"
 	"jxtaoverlay/internal/telemetry"
+	"jxtaoverlay/internal/trace"
 	"jxtaoverlay/internal/userdb"
 )
 
@@ -62,10 +63,24 @@ func main() {
 	scenarioName := flag.String("scenario", "", "run one named scenario instead of the smoke sim: "+strings.Join(scenario.Names(), ", "))
 	out := flag.String("out", "", "write the scenario summary JSON to FILE (default stdout)")
 	metricsAddr := flag.String("metrics", "", "serve the telemetry registry over HTTP on ADDR (e.g. localhost:9090)")
+	traceSample := flag.Float64("trace-sample", 0, "record message-lifecycle spans for this fraction of traces (0 disables tracing, 1 records all); anomalies are always captured")
+	traceSlow := flag.Duration("trace-slow", 100*time.Millisecond, "force-capture traces containing a span at least this slow")
+	linger := flag.Duration("linger", 0, "keep the -metrics endpoint up this long after the run, so admin metrics/trace can scrape a finished run")
 	verbose := flag.Bool("v", false, "log every event")
 	flag.Parse()
 
 	reg := telemetry.Default
+	var tracer *trace.Recorder
+	if *traceSample > 0 {
+		// Seeded like the scenario network: the sampled-trace set is
+		// reproducible run to run.
+		tracer = trace.New(trace.Config{
+			SampleRate:    *traceSample,
+			SlowThreshold: *traceSlow,
+			Seed:          42,
+		})
+		reg.Handle("/debug/traces", tracer.DebugHandler())
+	}
 	if *metricsAddr != "" {
 		srv, err := reg.Serve(*metricsAddr)
 		if err != nil {
@@ -73,26 +88,42 @@ func main() {
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/metrics\n", srv.Addr())
+		if tracer != nil {
+			fmt.Fprintf(os.Stderr, "tracing:   serving http://%s/debug/traces (sample=%g)\n", srv.Addr(), *traceSample)
+		}
 	}
 
 	if *scenarioName != "" {
-		if err := runScenario(*scenarioName, *nClients, *messages, *profileName, *out, reg); err != nil {
+		if err := runScenario(*scenarioName, *nClients, *messages, *profileName, *out, reg, tracer); err != nil {
 			log.Fatal(err)
 		}
+		lingerFor(*linger, *metricsAddr)
 		return
 	}
 	if err := run(*nClients, *secure, *profileName, *messages, *churn, *restart, *verbose, reg); err != nil {
 		log.Fatal(err)
 	}
+	lingerFor(*linger, *metricsAddr)
+}
+
+// lingerFor holds the process (and with it the -metrics endpoint,
+// traces included) open after a completed run, so the admin tool can
+// scrape evidence from a run that is already over.
+func lingerFor(d time.Duration, metricsAddr string) {
+	if d <= 0 || metricsAddr == "" {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "lingering %s for scrapes (ctrl-c to stop)\n", d)
+	time.Sleep(d)
 }
 
 // runScenario drives one named scenario and writes its JSON summary.
 // A run that recorded anomalies exits with status 1 AFTER writing the
 // summary: CI gets the evidence and the red build.
-func runScenario(name string, nClients, rounds int, profileName, out string, reg *telemetry.Registry) error {
+func runScenario(name string, nClients, rounds int, profileName, out string, reg *telemetry.Registry, tracer *trace.Recorder) error {
 	// The flag defaults belong to the smoke sim; a scenario invoked
 	// without explicit sizes uses its own defaults instead.
-	opt := scenario.Options{Profile: profileName, Registry: reg}
+	opt := scenario.Options{Profile: profileName, Registry: reg, Tracer: tracer}
 	if explicitFlag("clients") {
 		opt.Clients = nClients
 	}
@@ -120,6 +151,17 @@ func runScenario(name string, nClients, rounds int, profileName, out string, reg
 	if len(sum.Anomalies) > 0 {
 		for _, a := range sum.Anomalies {
 			fmt.Fprintf(os.Stderr, "anomaly: %s\n", a)
+		}
+		// An anomalous run dumps the full registry snapshot next to the
+		// summary: the gate gets the verdict AND the evidence, not just
+		// the verdict. Best-effort — the exit status must not change.
+		if out != "" {
+			metricsOut := strings.TrimSuffix(out, ".json") + ".metrics.json"
+			if raw, err := json.MarshalIndent(reg.Snapshot(), "", "  "); err == nil {
+				if werr := os.WriteFile(metricsOut, append(raw, '\n'), 0o644); werr == nil {
+					fmt.Fprintf(os.Stderr, "telemetry snapshot written to %s\n", metricsOut)
+				}
+			}
 		}
 		os.Exit(1)
 	}

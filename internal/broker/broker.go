@@ -35,6 +35,7 @@ import (
 	"jxtaoverlay/internal/peergroup"
 	"jxtaoverlay/internal/proto"
 	"jxtaoverlay/internal/simnet"
+	"jxtaoverlay/internal/trace"
 	"jxtaoverlay/internal/xmldoc"
 )
 
@@ -110,6 +111,11 @@ type Broker struct {
 	advVerifier AdvVerifier
 	federation  []keys.PeerID
 	adm         *admission.Limiter
+
+	// Lifecycle span recorder (nil pointer load = tracing off). An
+	// atomic pointer so SetTracer needs no lock against the dispatch
+	// path.
+	tracer atomic.Pointer[trace.Recorder]
 
 	// Operation counters (see Stats). Plain atomics on the dispatch
 	// path; the telemetry layer reads them through pull collectors.
@@ -263,26 +269,60 @@ func (b *Broker) Admission() *admission.Limiter {
 	return b.adm
 }
 
+// SetTracer installs a lifecycle span recorder on the broker: dispatch
+// then records admission-stage spans, the publish pipeline records
+// parse/verify/publish, and SecurityAlert payloads carry the trace ID
+// of the message that earned them (key "trace") so an alert links to
+// its captured trace.
+func (b *Broker) SetTracer(r *trace.Recorder) {
+	if r == nil {
+		return
+	}
+	b.tracer.Store(r)
+}
+
+// Tracer returns the installed recorder (nil when tracing is off).
+func (b *Broker) Tracer() *trace.Recorder { return b.tracer.Load() }
+
+// TraceID extracts the message's lifecycle trace ID (0 when tracing is
+// off or the message is untraced). Op handlers outside this package
+// (relay, security extension) use it to continue the sender's trace.
+func (b *Broker) TraceID(msg *endpoint.Message) uint64 {
+	if b.tracer.Load() == nil {
+		return 0
+	}
+	s, ok := msg.GetString(proto.ElemTrace)
+	if !ok {
+		return 0
+	}
+	return trace.ParseID(s)
+}
+
 // RecordOffense feeds an out-of-band refusal (e.g. a relay quota
 // rejection) into the offender tracking and raises the SecurityAlert
 // audit event when the credential's streak crosses the threshold. A
-// no-op without admission control.
-func (b *Broker) RecordOffense(from keys.PeerID, op, reason string) {
+// no-op without admission control. traceID (0 = untraced) correlates
+// the alert with the refused message's captured trace.
+func (b *Broker) RecordOffense(from keys.PeerID, op, reason string, traceID uint64) {
 	adm := b.Admission()
 	if adm == nil {
 		return
 	}
 	if d := adm.Offense(string(from)); d.Alert {
-		b.emitAdmissionAlert(from, op, reason, d.Offenses)
+		b.emitAdmissionAlert(from, op, reason, d.Offenses, traceID)
 	}
 }
 
-func (b *Broker) emitAdmissionAlert(from keys.PeerID, op, reason string, offenses int) {
-	b.ctl.Emit(events.SecurityAlert, from, "", map[string]string{
+func (b *Broker) emitAdmissionAlert(from keys.PeerID, op, reason string, offenses int, traceID uint64) {
+	payload := map[string]string{
 		"reason":   reason,
 		"op":       op,
 		"offenses": strconv.Itoa(offenses),
-	}, nil)
+	}
+	if traceID != 0 {
+		payload["trace"] = trace.FormatID(traceID)
+	}
+	b.ctl.Emit(events.SecurityAlert, from, "", payload, nil)
 }
 
 func (b *Broker) dispatch(from keys.PeerID, msg *endpoint.Message) *endpoint.Message {
@@ -295,15 +335,32 @@ func (b *Broker) dispatch(from keys.PeerID, msg *endpoint.Message) *endpoint.Mes
 		return proto.Fail(proto.ErrUnknownOp)
 	}
 	b.opsDispatched.Add(1)
+	tid := b.TraceID(msg)
+	// The admission span is recorded for every traced dispatch, limiter
+	// or not: "admitted in ~0" and "no limiter installed" read the same
+	// in a waterfall, and the stage is always present to anchor the
+	// broker side of the trace.
+	var sp trace.Span
+	if tid != 0 {
+		sp = trace.Begin(tid, trace.StageAdmission)
+		sp.SetAttr("op", op)
+	}
 	if adm != nil && !b.IsPartner(from) {
 		if d := adm.Allow(string(from)); !d.Allowed {
 			b.opsRateLimited.Add(1)
 			b.opsFailed.Add(1)
+			// Anomalous outcome: the recorder force-captures this span
+			// (and the trace's remaining stages) even when unsampled, so
+			// the alert's trace ID is always retrievable.
+			b.tracer.Load().End(sp, trace.OutcomeRateLimited)
 			if d.Alert {
-				b.emitAdmissionAlert(from, op, proto.ErrRateLimited, d.Offenses)
+				b.emitAdmissionAlert(from, op, proto.ErrRateLimited, d.Offenses, tid)
 			}
 			return proto.Fail(proto.ErrRateLimited)
 		}
+	}
+	if tid != 0 {
+		b.tracer.Load().End(sp, trace.OutcomeOK)
 	}
 	resp := h(from, msg)
 	if resp != nil {
@@ -523,28 +580,46 @@ func (b *Broker) handlePublishAdv(from keys.PeerID, msg *endpoint.Message) *endp
 	if !ok {
 		return proto.Fail(proto.ErrBadRequest)
 	}
+	tid := b.TraceID(msg)
+	tr := b.tracer.Load()
+	var sp trace.Span
 	// Published advertisements must be canonical wire bytes — peers
 	// serialize with Canonical() — so the hardened fast-path parser is
 	// both the cheap and the strict choice at this, the broker's most
 	// exposed ingest surface.
+	if tid != 0 {
+		sp = trace.Begin(tid, trace.StageParse)
+	}
 	doc, err := xmldoc.ParseCanonical(raw)
 	if err != nil {
+		tr.End(sp, trace.OutcomeError)
 		return proto.Fail(proto.ErrBadRequest)
 	}
+	tr.End(sp, trace.OutcomeOK)
 	// The advertisement is parsed exactly once on this path: by the
 	// verifier when one is installed (it parses for the ownership check
 	// anyway), by the broker otherwise. The parsed form then rides into
 	// the cache via PutParsed.
+	if tid != 0 {
+		sp = trace.Begin(tid, trace.StageVerify)
+	}
 	parsed, errTok := b.verifyAndParse(doc)
 	if errTok != "" {
+		sp.SetAttr("err", errTok)
+		tr.End(sp, trace.OutcomeError)
 		return proto.Fail(errTok)
 	}
+	tr.End(sp, trace.OutcomeOK)
 	// A peer may only publish into groups it belongs to.
 	group := advGroup(parsed)
 	if group != "" && !b.memberOf(from, group) {
 		return proto.Fail(proto.ErrNoGroup)
 	}
+	if tid != 0 {
+		sp = trace.Begin(tid, trace.StagePublish)
+	}
 	if err := b.ctl.Cache().PutParsed(doc, parsed); err != nil {
+		tr.End(sp, trace.OutcomeError)
 		return proto.Fail(proto.ErrBadRequest)
 	}
 	b.advsPublished.Add(1)
@@ -552,6 +627,7 @@ func (b *Broker) handlePublishAdv(from keys.PeerID, msg *endpoint.Message) *endp
 		b.PropagateAdv(doc, group, from)
 	}
 	b.forwardAdvToFederation(doc, from)
+	tr.End(sp, trace.OutcomeOK)
 	return proto.OK()
 }
 

@@ -18,6 +18,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"jxtaoverlay/internal/advert"
@@ -30,6 +31,8 @@ import (
 	"jxtaoverlay/internal/pipes"
 	"jxtaoverlay/internal/proto"
 	"jxtaoverlay/internal/simnet"
+	"jxtaoverlay/internal/telemetry"
+	"jxtaoverlay/internal/trace"
 	"jxtaoverlay/internal/xmldoc"
 )
 
@@ -78,6 +81,10 @@ type Client struct {
 
 	timeout time.Duration
 	started time.Time
+
+	// Observability (see observe.go): nil/unset means disabled.
+	tracer   atomic.Pointer[trace.Recorder]
+	delivery atomic.Pointer[telemetry.Histogram]
 }
 
 // New attaches a client peer to the network. The membership service
@@ -205,6 +212,22 @@ func (c *Client) Call(ctx context.Context, msg *endpoint.Message) (*endpoint.Mes
 	if br == "" {
 		return nil, ErrNotConnected
 	}
+	tid := c.traceMsg(msg)
+	var sp trace.Span
+	if tid != 0 {
+		sp = trace.Begin(tid, trace.StageSend)
+		if op, ok := msg.GetString(proto.ElemOp); ok {
+			sp.SetAttr("op", op)
+		}
+	}
+	resp, err := c.call(ctx, br, msg)
+	if tid != 0 {
+		c.tracer.Load().End(sp, callOutcome(err))
+	}
+	return resp, err
+}
+
+func (c *Client) call(ctx context.Context, br keys.PeerID, msg *endpoint.Message) (*endpoint.Message, error) {
 	ctx, cancel := c.withTimeout(ctx)
 	defer cancel()
 	resp, err := c.ep.Request(ctx, br, proto.BrokerService, msg)

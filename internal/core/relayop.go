@@ -11,6 +11,7 @@ import (
 	"jxtaoverlay/internal/keys"
 	"jxtaoverlay/internal/proto"
 	"jxtaoverlay/internal/relay"
+	"jxtaoverlay/internal/trace"
 )
 
 // Broker-side relay registration: the glue between the generic
@@ -60,6 +61,12 @@ type RelayConfig struct {
 // events, and registers the relayRound and fedRelaySlice operations.
 // Close() the returned relay when the broker shuts down.
 func EnableBrokerRelay(b *broker.Broker, cfg RelayConfig) (*relay.Relay, error) {
+	if cfg.Tracer == nil {
+		// Inherit the broker's recorder so one SetTracer call covers the
+		// whole broker-side lifecycle.
+		cfg.Tracer = b.Tracer()
+	}
+	tr := cfg.Tracer
 	var r *relay.Relay
 	deliver := func(it relay.Item) error {
 		// Presence migrated to a federation partner? Chase the slice
@@ -68,14 +75,30 @@ func EnableBrokerRelay(b *broker.Broker, cfg RelayConfig) (*relay.Relay, error) 
 		// items never re-forward: one hop, no mesh loops.
 		if !it.Forwarded {
 			if origin := b.PeerOrigin(it.To); origin != "" {
+				var sp trace.Span
+				if it.Trace != 0 && tr != nil {
+					sp = trace.Begin(it.Trace, trace.StageHandoff)
+				}
 				if err := b.Endpoint().Send(origin, proto.BrokerService, fedSliceMessage(it)); err != nil {
+					tr.End(sp, trace.OutcomeError)
 					return err
 				}
+				tr.End(sp, trace.OutcomeOK)
 				r.AddHandoff()
 				return nil
 			}
 		}
-		return b.Endpoint().Send(it.To, proto.ClientService, sliceDeliverMessage(it))
+		var sp trace.Span
+		if it.Trace != 0 && tr != nil {
+			sp = trace.Begin(it.Trace, trace.StageDeliver)
+		}
+		err := b.Endpoint().Send(it.To, proto.ClientService, sliceDeliverMessage(it))
+		if err != nil {
+			tr.End(sp, trace.OutcomeError)
+		} else {
+			tr.End(sp, trace.OutcomeOK)
+		}
+		return err
 	}
 	r, err := relay.New(cfg.Config, b.PeerOnline, deliver)
 	if err != nil {
@@ -90,24 +113,32 @@ func EnableBrokerRelay(b *broker.Broker, cfg RelayConfig) (*relay.Relay, error) 
 // sliceDeliverMessage wraps one slice into the client push that carries
 // it — the same ClientService surface advertisement pushes use.
 func sliceDeliverMessage(it relay.Item) *endpoint.Message {
-	return endpoint.NewMessage().
+	msg := endpoint.NewMessage().
 		AddString(proto.ElemOp, proto.OpSliceDeliver).
 		AddString(proto.ElemGroup, it.Group).
 		AddString(proto.ElemPeer, string(it.From)).
 		Add(proto.ElemEnvelope, it.Payload)
+	if it.Trace != 0 {
+		msg.AddString(proto.ElemTrace, trace.FormatID(it.Trace))
+	}
+	return msg
 }
 
 // fedSliceMessage wraps one slice into the broker-to-broker hand-off.
 // The original expiry travels with it: a slice must not gain lifetime
 // by hopping brokers.
 func fedSliceMessage(it relay.Item) *endpoint.Message {
-	return endpoint.NewMessage().
+	msg := endpoint.NewMessage().
 		AddString(proto.ElemOp, proto.OpFedRelaySlice).
 		AddString(proto.ElemRelayTo, string(it.To)).
 		AddString(proto.ElemPeer, string(it.From)).
 		AddString(proto.ElemGroup, it.Group).
 		AddString(proto.ElemRelayExp, strconv.FormatInt(it.Expires.UnixNano(), 10)).
 		Add(proto.ElemEnvelope, it.Payload)
+	if it.Trace != 0 {
+		msg.AddString(proto.ElemTrace, trace.FormatID(it.Trace))
+	}
+	return msg
 }
 
 // fedRelaySliceHandler accepts a slice handed off by a federation
@@ -130,6 +161,9 @@ func fedRelaySliceHandler(b *broker.Broker, r *relay.Relay) broker.OpHandler {
 		it := relay.Item{
 			To: keys.PeerID(to), From: keys.PeerID(sender),
 			Group: group, Payload: payload, Forwarded: true,
+		}
+		if idStr, _ := msg.GetString(proto.ElemTrace); idStr != "" {
+			it.Trace = trace.ParseID(idStr)
 		}
 		if expStr, _ := msg.GetString(proto.ElemRelayExp); expStr != "" {
 			if ns, err := strconv.ParseInt(expStr, 10, 64); err == nil {
@@ -164,37 +198,64 @@ func relayRoundHandler(b *broker.Broker, r *relay.Relay) broker.OpHandler {
 		// refusal also counts as an admission offense: a sender hammering
 		// a full queue escalates toward a SecurityAlert exactly like one
 		// hammering the op rate limit.
+		tid := b.TraceID(msg)
+		tr := b.Tracer()
 		if r.SenderOverQuota(from) {
-			b.RecordOffense(from, proto.OpRelayRound, proto.ErrRelayQuota)
+			b.RecordOffense(from, proto.OpRelayRound, proto.ErrRelayQuota, tid)
+			if tid != 0 {
+				sp := trace.Begin(tid, trace.StageEnqueue)
+				tr.End(sp, trace.OutcomeQuota)
+			}
 			return proto.Fail(proto.ErrRelayQuota)
+		}
+		var spParse trace.Span
+		if tid != 0 {
+			spParse = trace.Begin(tid, trace.StageParse)
 		}
 		wire, ok := msg.Get(proto.ElemEnvelope)
 		if !ok || len(wire) == 0 || Mode(wire[0]) != ModeGroup {
+			tr.End(spParse, trace.OutcomeError)
 			return proto.Fail(proto.ErrBadRound)
 		}
 		rcptCSV, _ := msg.GetString(proto.ElemRecipients)
 		if rcptCSV == "" {
+			tr.End(spParse, trace.OutcomeError)
 			return proto.Fail(proto.ErrBadRequest)
 		}
 		ids := strings.Split(rcptCSV, ",")
 		d, err := SliceRound(wire)
 		if err != nil {
+			tr.End(spParse, trace.OutcomeError)
 			return proto.Fail(proto.ErrBadRound)
 		}
+		tr.End(spParse, trace.OutcomeOK)
 		// The recipient list must pair 1:1 with the round's key wraps —
 		// the broker cannot check WHICH fingerprint belongs to which peer
 		// (it holds no keys), but a mismapped slice is merely
 		// undeliverable: the wrong recipient fails ErrNotRecipient and the
 		// signed Merkle binding stops anything stronger.
+		var spVerify trace.Span
+		if tid != 0 {
+			spVerify = trace.Begin(tid, trace.StageVerify)
+		}
 		if len(ids) != d.Recipients() {
+			if tid != 0 {
+				spVerify.SetAttr("err", proto.ErrBadRound)
+				tr.End(spVerify, trace.OutcomeError)
+			}
 			return proto.Fail(proto.ErrBadRound)
 		}
+		tr.End(spVerify, trace.OutcomeOK)
 		// Every addressed recipient lands in exactly one of the five
 		// counters — direct, queued, handoff, quota or skipped — so the
 		// sender can detect a shortfall instead of a silent drop. Slices
 		// are cut lazily: only accepted recipients pay for their copy of
 		// the ciphertext.
 		direct, queued, handoff, quota, skipped := 0, 0, 0, 0, 0
+		var spSlice trace.Span
+		if tid != 0 {
+			spSlice = trace.Begin(tid, trace.StageSlice)
+		}
 		for i, raw := range ids {
 			id := keys.PeerID(raw)
 			if !b.KnownMember(id, group) || id == from {
@@ -212,7 +273,7 @@ func relayRoundHandler(b *broker.Broker, r *relay.Relay) broker.OpHandler {
 				// life past what a local queue would have allowed.
 				it := relay.Item{
 					To: id, From: from, Group: group, Payload: d.Slice(i),
-					Expires: time.Now().Add(r.TTL()),
+					Expires: time.Now().Add(r.TTL()), Trace: tid,
 				}
 				if b.Endpoint().Send(b.PeerOrigin(id), proto.BrokerService, fedSliceMessage(it)) != nil {
 					skipped++
@@ -222,7 +283,7 @@ func relayRoundHandler(b *broker.Broker, r *relay.Relay) broker.OpHandler {
 				handoff++
 				continue
 			}
-			switch r.Submit(relay.Item{To: id, From: from, Group: group, Payload: d.Slice(i)}) {
+			switch r.Submit(relay.Item{To: id, From: from, Group: group, Payload: d.Slice(i), Trace: tid}) {
 			case relay.SubmitDirect:
 				direct++
 			case relay.SubmitQueued:
@@ -240,11 +301,18 @@ func relayRoundHandler(b *broker.Broker, r *relay.Relay) broker.OpHandler {
 				return proto.Fail(proto.ErrRelayOff)
 			}
 		}
+		if tid != 0 {
+			if quota > 0 {
+				tr.End(spSlice, trace.OutcomeQuota)
+			} else {
+				tr.End(spSlice, trace.OutcomeOK)
+			}
+		}
 		if quota > 0 {
 			// One offense per throttled round (not per slice): the unit
 			// of sender behavior is the upload, and per-slice counting
 			// would let a single wide round trip the alert threshold.
-			b.RecordOffense(from, proto.OpRelayRound, proto.ErrRelayQuota)
+			b.RecordOffense(from, proto.OpRelayRound, proto.ErrRelayQuota, tid)
 		}
 		return proto.OK().
 			AddString(proto.ElemRelayDirect, strconv.Itoa(direct)).

@@ -12,6 +12,7 @@ import (
 	"jxtaoverlay/internal/keys"
 	"jxtaoverlay/internal/parallel"
 	"jxtaoverlay/internal/proto"
+	"jxtaoverlay/internal/trace"
 )
 
 // Client-side relay fan-out: the send-once path. Instead of sending the
@@ -87,13 +88,28 @@ func (s *SecureClient) SecureMsgPeersViaRelay(ctx context.Context, group, text s
 			keyList[j] = recipients[i]
 			idList[j] = string(peers[i])
 		}
+		// Each chunk is its own round, so each gets its own trace: the ID
+		// minted here rides the upload (Call reuses it for the send span)
+		// and then every slice cut from the round, tying seal, broker
+		// dispatch, queueing and the eventual opens into one waterfall.
+		tr := s.Tracer()
+		var tid uint64
+		if tr != nil {
+			tid = tr.NewID()
+		}
+		var spSeal trace.Span
+		if tid != 0 {
+			spSeal = trace.Begin(tid, trace.StageSeal)
+		}
 		d, serr := SealGroupDetached(s.kp, s.PeerID(), group, []byte(text), keyList)
 		if serr != nil {
+			tr.End(spSeal, trace.OutcomeError)
 			if firstErr == nil {
 				firstErr = serr
 			}
 			continue
 		}
+		tr.End(spSeal, trace.OutcomeOK)
 		// The single upload: one wire for the whole chunk, recipient IDs
 		// paired in wrap order so the broker can address the slices.
 		msg := endpoint.NewMessage().
@@ -101,6 +117,9 @@ func (s *SecureClient) SecureMsgPeersViaRelay(ctx context.Context, group, text s
 			AddString(proto.ElemGroup, group).
 			AddString(proto.ElemRecipients, strings.Join(idList, ",")).
 			Add(proto.ElemEnvelope, d.Wire())
+		if tid != 0 {
+			msg.AddString(proto.ElemTrace, trace.FormatID(tid))
+		}
 		resp, cerr := s.Call(ctx, msg)
 		if cerr != nil {
 			if firstErr == nil {

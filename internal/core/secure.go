@@ -19,6 +19,7 @@ import (
 	"jxtaoverlay/internal/parallel"
 	"jxtaoverlay/internal/pipes"
 	"jxtaoverlay/internal/proto"
+	"jxtaoverlay/internal/trace"
 	"jxtaoverlay/internal/xdsig"
 	"jxtaoverlay/internal/xmldoc"
 )
@@ -451,6 +452,29 @@ func (s *SecureClient) handleEnvelope(group string, d pipes.Delivery) bool {
 	if !ok {
 		return false
 	}
+	// Trace correlation: the push may carry the sender's trace ID. A
+	// security rejection below ends the open span with OutcomeAlert
+	// (force-captured) and stamps the same ID into the SecurityAlert
+	// payload, so an alert can be looked up as a full waterfall.
+	var tid uint64
+	tr := s.Tracer()
+	if tr != nil {
+		if idStr, _ := d.Msg.GetString(proto.ElemTrace); idStr != "" {
+			tid = trace.ParseID(idStr)
+		}
+	}
+	var spOpen trace.Span
+	if tid != 0 {
+		spOpen = trace.Begin(tid, trace.StageOpen)
+	}
+	alert := func(from keys.PeerID, reason string) {
+		payload := map[string]string{"reason": reason}
+		if tid != 0 {
+			payload["trace"] = trace.FormatID(tid)
+			tr.End(spOpen, trace.OutcomeAlert)
+		}
+		s.Bus().Emit(events.Event{Type: events.SecurityAlert, From: from, Group: group, Payload: payload})
+	}
 	var opened *Opened
 	var err error
 	switch {
@@ -467,9 +491,7 @@ func (s *SecureClient) handleEnvelope(group string, d pipes.Delivery) bool {
 		opened, err = Open(s.kp, wire)
 	}
 	if err != nil {
-		s.Bus().Emit(events.Event{Type: events.SecurityAlert, From: d.From, Group: group, Payload: map[string]string{
-			"reason": "secure envelope rejected: " + err.Error(),
-		}})
+		alert(d.From, "secure envelope rejected: "+err.Error())
 		return true
 	}
 	if (opened.Mode == ModeGroup || opened.Mode == ModeSlice) && opened.Group != group {
@@ -480,9 +502,7 @@ func (s *SecureClient) handleEnvelope(group string, d pipes.Delivery) bool {
 		// sealed for group Y surfaced to the application as group X
 		// traffic. Checked before the replay guard so a mislabeled
 		// delivery does not burn the round's single-use nonce.
-		s.Bus().Emit(events.Event{Type: events.SecurityAlert, From: opened.Sender, Group: group, Payload: map[string]string{
-			"reason": "round delivered under wrong group: signed " + opened.Group + ", claimed " + group,
-		}})
+		alert(opened.Sender, "round delivered under wrong group: signed "+opened.Group+", claimed "+group)
 		return true
 	}
 	if s.replayGuard != nil {
@@ -496,9 +516,7 @@ func (s *SecureClient) handleEnvelope(group string, d pipes.Delivery) bool {
 			err = s.replayGuard.CheckRound(opened.Sender, opened.Nonce, opened.SentAt)
 		}
 		if err != nil {
-			s.Bus().Emit(events.Event{Type: events.SecurityAlert, From: opened.Sender, Group: group, Payload: map[string]string{
-				"reason": err.Error(),
-			}})
+			alert(opened.Sender, err.Error())
 			return true
 		}
 	}
@@ -509,19 +527,24 @@ func (s *SecureClient) handleEnvelope(group string, d pipes.Delivery) bool {
 		senderKey, senderCred, err := s.senderKey(ctx, opened.Sender, group)
 		cancel()
 		if err != nil {
-			s.Bus().Emit(events.Event{Type: events.SecurityAlert, From: opened.Sender, Group: group, Payload: map[string]string{
-				"reason": ErrSenderUnknown.Error(),
-			}})
+			alert(opened.Sender, ErrSenderUnknown.Error())
 			return true
 		}
 		if err := opened.VerifySignature(senderKey); err != nil {
-			s.Bus().Emit(events.Event{Type: events.SecurityAlert, From: opened.Sender, Group: group, Payload: map[string]string{
-				"reason": ErrMessageTampered.Error(),
-			}})
+			alert(opened.Sender, ErrMessageTampered.Error())
 			return true
 		}
 		authenticated = true
 		user = senderCred.SubjectName
+	}
+	if tid != 0 {
+		tr.End(spOpen, trace.OutcomeOK)
+	}
+	// End-to-end delivery latency, measured against the signed (and
+	// replay-guarded) send timestamp — this feeds the client-side
+	// histogram that scenario quantiles read.
+	if !opened.SentAt.IsZero() {
+		s.ObserveDelivery(time.Since(opened.SentAt))
 	}
 	s.Bus().Emit(events.Event{
 		Type:  events.SecureMessage,

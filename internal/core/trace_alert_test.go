@@ -1,0 +1,91 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"jxtaoverlay/internal/attack"
+	"jxtaoverlay/internal/core"
+	"jxtaoverlay/internal/events"
+	"jxtaoverlay/internal/keys"
+	"jxtaoverlay/internal/simnet"
+	"jxtaoverlay/internal/trace"
+)
+
+// TestSecurityAlertCarriesRetrievableTraceID pins the anomaly
+// correlation contract: a SecurityAlert raised while opening a traced
+// delivery carries the trace ID in its payload, and that ID retrieves
+// the captured span from the recorder — even at sample rate ZERO,
+// because anomalous outcomes force capture.
+func TestSecurityAlertCarriesRetrievableTraceID(t *testing.T) {
+	h := newSecureHarness(t, true)
+	rec := trace.New(trace.Config{SampleRate: 0, Seed: 7})
+	h.br.SetTracer(rec)
+	rly, err := core.EnableBrokerRelay(h.br, core.RelayConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rly.Close() })
+
+	alice := h.secureClient("alice")
+	bob := h.secureClient("bob", core.WithReplayGuard(core.NewReplayGuard(time.Minute, 64)))
+	alice.SetTracer(rec)
+	bob.SetTracer(rec)
+	h.join(alice, "pw-alice")
+	h.join(bob, "pw-bob")
+	bobEvents := events.NewCollector(bob.Bus())
+
+	eve := attack.NewEavesdropper(h.net)
+	ctx := testCtx(t)
+	// The relayed round's slice push carries the trace ID on the wire.
+	if _, _, err := alice.SecureMsgPeersViaRelay(ctx, "math", "pay invoice 42", []keys.PeerID{bob.PeerID()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := bobEvents.WaitFor(events.SecureMessage, 5*time.Second); !ok {
+		t.Fatal("original slice not delivered")
+	}
+
+	// Replay the captured push verbatim: the round-nonce guard rejects
+	// it and raises the alert whose trace ID we assert on.
+	raw, err := attack.NewRawNode(h.net, "replayer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bobNode := simnet.NodeID(bob.PeerID())
+	for _, frame := range eve.FramesTo(bobNode) {
+		if err := raw.Replay(bobNode, frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := bobEvents.WaitFor(events.SecurityAlert, 5*time.Second); !ok {
+		t.Fatal("replayed slice raised no alert")
+	}
+
+	idStr := ""
+	for _, e := range bobEvents.OfType(events.SecurityAlert) {
+		if v := e.Payload["trace"]; v != "" {
+			idStr = v
+			break
+		}
+	}
+	if idStr == "" {
+		t.Fatal("no SecurityAlert carried a trace ID")
+	}
+	id := trace.ParseID(idStr)
+	if id == 0 {
+		t.Fatalf("alert trace ID %q does not parse", idStr)
+	}
+	spans := rec.TraceSpans(id)
+	if len(spans) == 0 {
+		t.Fatalf("trace %s not retrievable from the recorder", idStr)
+	}
+	found := false
+	for _, sp := range spans {
+		if sp.Stage == trace.StageOpen && sp.Outcome == trace.OutcomeAlert {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("trace %s has no open span with outcome %s (got %d spans)", idStr, trace.OutcomeAlert, len(spans))
+	}
+}

@@ -85,6 +85,13 @@ const (
 	// has already superseded.
 	ElemFedSession = "fed:session"
 	ElemAll        = "all" // listPeers: include offline peers
+	// ElemTrace carries a message-lifecycle trace ID (hex, see
+	// internal/trace) end to end: the sending client mints it, the
+	// broker threads it through relay items and federation hand-offs,
+	// and delivery pushes return it to the receiving client, so every
+	// stage span of one message shares one ID. Absent = untraced;
+	// brokers never reject a message over it.
+	ElemTrace = "trace:id"
 )
 
 // Broker operations (the Broker Module "functions" clients call).

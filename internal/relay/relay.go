@@ -35,6 +35,7 @@ import (
 	"jxtaoverlay/internal/events"
 	"jxtaoverlay/internal/keys"
 	"jxtaoverlay/internal/relay/wal"
+	"jxtaoverlay/internal/trace"
 )
 
 // Item is one undelivered payload addressed to one recipient.
@@ -55,9 +56,16 @@ type Item struct {
 	// delivery hook must not forward it a second time (one-hop loop
 	// guard across the broker mesh).
 	Forwarded bool
+	// Trace is the message-lifecycle trace ID the item belongs to
+	// (0 = untraced). It rides in memory only — the WAL record format
+	// does not carry it, so recovered items come back untraced.
+	Trace uint64
 
 	// seq is the item's WAL sequence number (0 = not persisted).
 	seq wal.Seq
+	// enqueuedAt stamps when the item entered its offline queue, so a
+	// later flush can attribute the queue-wait stage to its trace.
+	enqueuedAt time.Time
 }
 
 // DeliverFunc hands one item to its recipient. A non-nil error means
@@ -98,6 +106,10 @@ type Config struct {
 	// log: it opens it in New (replaying any previous state) and closes
 	// it in Close.
 	WAL wal.Options
+	// Tracer records lifecycle spans for traced items (nil = off): the
+	// enqueue stage, WAL append and fsync attribution, and queue-wait
+	// dwell time. Untraced items (Item.Trace == 0) cost nothing.
+	Tracer *trace.Recorder
 	// Clock overrides the time source (tests).
 	Clock func() time.Time
 }
@@ -163,6 +175,11 @@ type Relay struct {
 	bus       *events.Bus // optional, set by BindBus; emits RelayFlushed
 	busCancel func()      // unsubscribes from the bus; called by Close
 
+	// Traced items staged behind the next WAL fsync; the OnSync hook
+	// drains it to attribute the fsync's duration to each trace.
+	fsyncMu      sync.Mutex
+	fsyncPending []uint64
+
 	deliveredDirect  atomic.Uint64
 	deliveredFlushed atomic.Uint64
 	handedOff        atomic.Uint64
@@ -215,6 +232,12 @@ func New(cfg Config, online OnlineFunc, deliver DeliverFunc) (*Relay, error) {
 	r.shards = make([]*shard, cfg.Shards)
 	for i := range r.shards {
 		r.shards[i] = &shard{r: r, queues: make(map[keys.PeerID][]Item), flushCh: make(chan keys.PeerID, 256)}
+	}
+	if cfg.Tracer != nil && cfg.WAL.Dir != "" {
+		// Attribute each successful fsync to the traced items staged
+		// behind it (the hook fires from wal with log locks held; it
+		// only touches the recorder and the pending list).
+		r.cfg.WAL.OnSync = r.onWALSync
 	}
 	if cfg.WAL.Dir != "" {
 		if err := r.recover(); err != nil {
@@ -337,11 +360,28 @@ func (r *Relay) Submit(it Item) SubmitResult {
 	}
 	// Queue path: quota first (a refused item must not reach the WAL),
 	// then the durable append, then the in-memory queue.
+	traced := r.cfg.Tracer != nil && it.Trace != 0
+	var spEnq trace.Span
+	if traced {
+		spEnq = trace.Begin(it.Trace, trace.StageEnqueue)
+	}
 	if !r.reserveQuota(it) {
 		r.droppedQuota.Add(1)
+		if traced {
+			// Anomalous: force-captured even when the trace is unsampled,
+			// so the sender's quota refusal is always attributable.
+			r.cfg.Tracer.End(spEnq, trace.OutcomeQuota)
+		}
 		return SubmitDroppedQuota
 	}
 	if r.log != nil {
+		var spWAL trace.Span
+		if traced {
+			// Stage the trace for fsync attribution BEFORE the append:
+			// in sync-per-append mode the fsync happens inside AppendAdd.
+			r.stageFsyncTrace(it.Trace)
+			spWAL = trace.Begin(it.Trace, trace.StageWALAppend)
+		}
 		seq, err := r.log.AppendAdd(wal.Record{
 			To: it.To, From: it.From, Group: it.Group,
 			Payload: it.Payload, Expires: it.Expires, Forwarded: it.Forwarded,
@@ -351,12 +391,22 @@ func (r *Relay) Submit(it Item) SubmitResult {
 			// from memory — a degraded relay beats a dead one — but
 			// count it: operators alert on WALErrors.
 			r.walErrors.Add(1)
+			if traced {
+				r.cfg.Tracer.End(spWAL, trace.OutcomeWALError)
+			}
 		} else {
 			it.seq = seq
+			if traced {
+				r.cfg.Tracer.End(spWAL, trace.OutcomeOK)
+			}
 		}
 	}
 	s := r.shardOf(it.To)
+	it.enqueuedAt = r.cfg.Clock()
 	s.enqueue(it)
+	if traced {
+		r.cfg.Tracer.End(spEnq, trace.OutcomeOK)
+	}
 	// Close raced the enqueue: the workers are (or are about to be)
 	// gone and nothing will drain this item, so don't report it queued.
 	if r.closed.Load() {
@@ -483,6 +533,47 @@ func (r *Relay) Flush(id keys.PeerID) {
 			case <-r.stop:
 			}
 		}()
+	}
+}
+
+// fsyncPendingCap bounds the traced-item staging list so a sync stall
+// cannot grow it without bound; overflow items simply lose their fsync
+// span, never their data.
+const fsyncPendingCap = 512
+
+// stageFsyncTrace marks a traced item as staged behind the next WAL
+// fsync. Duplicates (several slices of one round) collapse to one span.
+func (r *Relay) stageFsyncTrace(id uint64) {
+	r.fsyncMu.Lock()
+	defer r.fsyncMu.Unlock()
+	if len(r.fsyncPending) >= fsyncPendingCap {
+		return
+	}
+	for _, p := range r.fsyncPending {
+		if p == id {
+			return
+		}
+	}
+	r.fsyncPending = append(r.fsyncPending, id)
+}
+
+// onWALSync is the wal.Options.OnSync hook: one fsync covered every
+// trace staged since the previous one, so each gets a wal-fsync span
+// with the sync's start and duration. Runs with wal locks held — it
+// must only touch the recorder and the pending list.
+func (r *Relay) onWALSync(start time.Time, d time.Duration) {
+	r.fsyncMu.Lock()
+	ids := r.fsyncPending
+	r.fsyncPending = nil
+	r.fsyncMu.Unlock()
+	for _, id := range ids {
+		r.cfg.Tracer.Record(trace.Span{
+			TraceID:  id,
+			Stage:    trace.StageWALFsync,
+			Outcome:  trace.OutcomeOK,
+			Start:    start.UnixNano(),
+			Duration: d.Nanoseconds(),
+		})
 	}
 }
 
@@ -675,6 +766,17 @@ func (s *shard) drain(id keys.PeerID) {
 		}
 		s.r.retire(it, wal.AckDelivered)
 		s.r.deliveredFlushed.Add(1)
+		if s.r.cfg.Tracer != nil && it.Trace != 0 && !it.enqueuedAt.IsZero() {
+			// Attribute the dwell time between enqueue and this flush
+			// delivery to the item's trace.
+			s.r.cfg.Tracer.Record(trace.Span{
+				TraceID:  it.Trace,
+				Stage:    trace.StageQueueWait,
+				Outcome:  trace.OutcomeOK,
+				Start:    it.enqueuedAt.UnixNano(),
+				Duration: s.r.cfg.Clock().Sub(it.enqueuedAt).Nanoseconds(),
+			})
+		}
 		flushed++
 	}
 	if flushed > 0 && s.r.bus != nil {

@@ -105,6 +105,11 @@ type Options struct {
 	SegmentBytes int64
 	// Faults is the deterministic fault-injection hook (nil = none).
 	Faults FaultFunc
+	// OnSync, when set, observes every successful fsync with its start
+	// time and duration — the relay's tracer uses it to attribute
+	// fsync-wait to the traces staged behind that sync. The callback
+	// may run with log locks held and MUST NOT call back into the Log.
+	OnSync func(start time.Time, d time.Duration)
 }
 
 // RecoveryStats reports what replay found.
@@ -373,9 +378,13 @@ func (l *Log) syncLocked() error {
 	if err := l.fault(BeforeSync); err != nil {
 		return err
 	}
+	start := time.Now()
 	if err := l.f.Sync(); err != nil {
 		l.fail(err)
 		return err
+	}
+	if l.opts.OnSync != nil {
+		l.opts.OnSync(start, time.Since(start))
 	}
 	l.dirty = false
 	return l.fault(AfterSync)
@@ -441,7 +450,11 @@ func (l *Log) syncBatch() error {
 	}
 	l.mu.Unlock()
 
+	start := time.Now()
 	serr := f.Sync()
+	if serr == nil && l.opts.OnSync != nil {
+		l.opts.OnSync(start, time.Since(start))
+	}
 
 	l.mu.Lock()
 	defer l.mu.Unlock()

@@ -11,7 +11,6 @@ import (
 	"context"
 	"fmt"
 	"sort"
-	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -28,6 +27,7 @@ import (
 	"jxtaoverlay/internal/relay"
 	"jxtaoverlay/internal/simnet"
 	"jxtaoverlay/internal/telemetry"
+	"jxtaoverlay/internal/trace"
 	"jxtaoverlay/internal/userdb"
 )
 
@@ -49,8 +49,14 @@ type Options struct {
 	Profile string
 	// Registry, when set, gets the deployment's telemetry collectors
 	// registered into it, so a /metrics endpoint serving it exposes the
-	// run live.
+	// run live. When nil the harness uses a private registry — the
+	// delivery-latency quantiles in the Summary come from the
+	// client-library histogram either way.
 	Registry *telemetry.Registry
+	// Tracer, when set, records message-lifecycle spans for the whole
+	// deployment: clients, broker dispatch, relay queues. Serve its
+	// DebugHandler (or run `admin trace`) to inspect the waterfalls.
+	Tracer *trace.Recorder
 	// Timeout bounds the whole run (0 = 2 minutes).
 	Timeout time.Duration
 }
@@ -112,6 +118,12 @@ func Run(name string, opt Options) (*Summary, error) {
 	if opt.Timeout <= 0 {
 		opt.Timeout = 2 * time.Minute
 	}
+	if opt.Registry == nil {
+		// The Summary's delivery quantiles are read from the
+		// client-library histogram, which lives in a registry — give the
+		// run a private one when the caller did not supply theirs.
+		opt.Registry = telemetry.New()
+	}
 	profile, err := bench.ProfileByName(opt.Profile)
 	if err != nil {
 		return nil, err
@@ -143,6 +155,8 @@ type stack struct {
 	rly *relay.Relay
 	adm *admission.Limiter
 	db  *userdb.Store
+	reg *telemetry.Registry
+	tr  *trace.Recorder
 
 	alerts atomic.Int64
 
@@ -150,8 +164,9 @@ type stack struct {
 	closers []func()
 }
 
-func newStack(nClients int, profile simnet.LinkProfile, admCfg *admission.Config, relayCfg core.RelayConfig, reg *telemetry.Registry) (*stack, error) {
-	s := &stack{net: simnet.NewNetworkSeeded(profile, 42)}
+func newStack(nClients int, profile simnet.LinkProfile, admCfg *admission.Config, relayCfg core.RelayConfig, opt Options) (*stack, error) {
+	reg := opt.Registry
+	s := &stack{net: simnet.NewNetworkSeeded(profile, 42), reg: reg, tr: opt.Tracer}
 	s.closers = append(s.closers, s.net.Close)
 	ok := false
 	defer func() {
@@ -202,6 +217,9 @@ func newStack(nClients int, profile simnet.LinkProfile, admCfg *admission.Config
 		return nil, err
 	}
 	s.bs = bs
+	// The broker's recorder is installed before the relay attaches so
+	// EnableBrokerRelay inherits it for the queue-side stages.
+	br.SetTracer(opt.Tracer)
 	rly, err := core.EnableBrokerRelay(br, relayCfg)
 	if err != nil {
 		return nil, err
@@ -254,6 +272,10 @@ func (s *stack) join(ctx context.Context, i int, rec *recorder) (*core.SecureCli
 	if rec != nil {
 		rec.watch(cl.Bus())
 	}
+	// Every client shares the registry's delivery histogram (idempotent
+	// registration) and the deployment's span recorder.
+	cl.BindTelemetry(s.reg)
+	cl.SetTracer(s.tr)
 	if err := sc.SecureConnection(ctx, s.br.PeerID()); err != nil {
 		return nil, fmt.Errorf("%s secureConnection: %w", user(i), err)
 	}
@@ -266,41 +288,25 @@ func (s *stack) join(ctx context.Context, i int, rec *recorder) (*core.SecureCli
 func user(i int) string { return fmt.Sprintf("peer%03d", i) }
 func pw(i int) string   { return fmt.Sprintf("pw-%03d", i) }
 
-// --- delivery latency recording ---
+// --- delivery accounting ---
 
-// stamp prefixes a message text with the send instant so any recipient
-// can compute the end-to-end delivery delay without shared state.
-func stamp(text string) string {
-	return "t:" + strconv.FormatInt(time.Now().UnixNano(), 10) + "|" + text
-}
-
-// recorder accumulates per-delivery latencies from SecureMessage
-// events carrying stamped texts.
+// recorder counts SecureMessage deliveries per recipient bus. Latency
+// is NOT measured here anymore: the client library observes (now -
+// signed SentAt) into its registry histogram on every successful open,
+// and deliveryQuantiles reads that instrument — the same quantiles a
+// production peer exports over /metrics, with no body stamping.
 type recorder struct {
-	mu  sync.Mutex
-	lat []time.Duration
-	by  map[keys.PeerID]int64 // deliveries by sender
+	mu sync.Mutex
+	n  int64
+	by map[keys.PeerID]int64 // deliveries by sender
 }
 
 func newRecorder() *recorder { return &recorder{by: make(map[keys.PeerID]int64)} }
 
 func (r *recorder) watch(bus *events.Bus) {
 	bus.Subscribe(events.SecureMessage, func(e events.Event) {
-		text := string(e.Data)
-		if !strings.HasPrefix(text, "t:") {
-			return
-		}
-		nanosStr, _, ok := strings.Cut(text[2:], "|")
-		if !ok {
-			return
-		}
-		nanos, err := strconv.ParseInt(nanosStr, 10, 64)
-		if err != nil {
-			return
-		}
-		d := time.Since(time.Unix(0, nanos))
 		r.mu.Lock()
-		r.lat = append(r.lat, d)
+		r.n++
 		r.by[e.From]++
 		r.mu.Unlock()
 	})
@@ -309,7 +315,7 @@ func (r *recorder) watch(bus *events.Bus) {
 func (r *recorder) count() int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return int64(len(r.lat))
+	return r.n
 }
 
 func (r *recorder) bySender(id keys.PeerID) int64 {
@@ -318,12 +324,17 @@ func (r *recorder) bySender(id keys.PeerID) int64 {
 	return r.by[id]
 }
 
-// quantiles returns the p50/p99 delivery latency in milliseconds.
-func (r *recorder) quantiles() (p50, p99 float64) {
-	r.mu.Lock()
-	lat := append([]time.Duration(nil), r.lat...)
-	r.mu.Unlock()
-	return quantileMS(lat, 0.50), quantileMS(lat, 0.99)
+// deliveryQuantiles reads the p50/p99 end-to-end delivery latency (ms)
+// from the client-library histogram shared by every client bound to
+// the run's registry.
+func deliveryQuantiles(reg *telemetry.Registry) (p50, p99 float64) {
+	h := reg.Histogram(client.DeliveryLatencyMetric,
+		"end-to-end secure delivery latency: signed seal time to local open (ms)",
+		telemetry.LatencyBucketsMS)
+	if h.Count() == 0 {
+		return 0, 0
+	}
+	return h.Quantile(0.50), h.Quantile(0.99)
 }
 
 func quantileMS(lat []time.Duration, q float64) float64 {

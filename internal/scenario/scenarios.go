@@ -3,6 +3,7 @@ package scenario
 import (
 	"context"
 	"fmt"
+	"os"
 	"strings"
 	"sync"
 	"time"
@@ -26,7 +27,7 @@ func joinStorm(ctx context.Context, opt Options, profile simnet.LinkProfile) (*S
 	}
 	sum := &Summary{Scenario: "join-storm", Profile: opt.Profile, Clients: n, Rounds: 1,
 		Drops: map[string]int64{}, Anomalies: []string{}}
-	s, err := newStack(n, profile, nil, core.RelayConfig{}, opt.Registry)
+	s, err := newStack(n, profile, nil, core.RelayConfig{}, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -98,7 +99,16 @@ func drainSpike(ctx context.Context, opt Options, profile simnet.LinkProfile) (*
 	// scenario default.
 	relayCfg := core.RelayConfig{}
 	relayCfg.QueueCap = n*rounds + 16
-	s, err := newStack(n, profile, nil, relayCfg, opt.Registry)
+	// Durable queues: the spike runs over a real WAL so traced runs show
+	// the append/fsync stages a production drain would pay, and the
+	// recovery path stays exercised by a scenario, not just unit tests.
+	walDir, err := os.MkdirTemp("", "drain-spike-wal-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(walDir)
+	relayCfg.WAL.Dir = walDir
+	s, err := newStack(n, profile, nil, relayCfg, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -130,7 +140,7 @@ func drainSpike(ctx context.Context, opt Options, profile simnet.LinkProfile) (*
 			if i%3 == 2 {
 				continue
 			}
-			text := stamp(fmt.Sprintf("round %d from %s", round, user(i)))
+			text := fmt.Sprintf("round %d from %s", round, user(i))
 			if _, _, err := sc.SecureMsgPeerGroupRelay(ctx, "plenary", text); err != nil {
 				sum.anomaly("%s round %d upload: %v", user(i), round, err)
 				continue
@@ -171,7 +181,7 @@ func drainSpike(ctx context.Context, opt Options, profile simnet.LinkProfile) (*
 		sum.RoundsPerSec = float64(uploads) / dur.Seconds()
 	}
 	sum.Delivered = rec.count()
-	sum.P50DeliveryMS, sum.P99DeliveryMS = rec.quantiles()
+	sum.P50DeliveryMS, sum.P99DeliveryMS = deliveryQuantiles(opt.Registry)
 	if got := rec.count(); got != expected {
 		sum.anomaly("delivered %d of %d addressed slices (%d senders)", got, expected, senders)
 	}
@@ -228,7 +238,7 @@ func parseFlood(ctx context.Context, opt Options, profile simnet.LinkProfile) (*
 		Drops: map[string]int64{}, Anomalies: []string{}}
 	// Admission stays on but far above the flood rate: the scenario
 	// isolates the parser, not the rate limiter.
-	s, err := newStack(n, profile, &admission.Config{Rate: 10_000, Burst: 10_000}, core.RelayConfig{}, opt.Registry)
+	s, err := newStack(n, profile, &admission.Config{Rate: 10_000, Burst: 10_000}, core.RelayConfig{}, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -308,7 +318,7 @@ func slowSender(ctx context.Context, opt Options, profile simnet.LinkProfile) (*
 	// briefly; size the queues to the full round volume anyway.
 	relayCfg := core.RelayConfig{}
 	relayCfg.QueueCap = n*rounds + 16
-	s, err := newStack(n, profile, nil, relayCfg, opt.Registry)
+	s, err := newStack(n, profile, nil, relayCfg, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -337,7 +347,7 @@ func slowSender(ctx context.Context, opt Options, profile simnet.LinkProfile) (*
 		go func(i int, sc *core.SecureClient) {
 			defer wg.Done()
 			for round := 0; round < rounds; round++ {
-				text := stamp(fmt.Sprintf("round %d from %s", round, user(i)))
+				text := fmt.Sprintf("round %d from %s", round, user(i))
 				if _, _, err := sc.SecureMsgPeerGroupRelay(ctx, "plenary", text); err != nil {
 					sum.anomaly("%s round %d upload: %v", user(i), round, err)
 				}
@@ -356,7 +366,7 @@ func slowSender(ctx context.Context, opt Options, profile simnet.LinkProfile) (*
 		sum.RoundsPerSec = float64(uploads) / dur.Seconds()
 	}
 	sum.Delivered = rec.count()
-	sum.P50DeliveryMS, sum.P99DeliveryMS = rec.quantiles()
+	sum.P50DeliveryMS, sum.P99DeliveryMS = deliveryQuantiles(opt.Registry)
 	if got := rec.count(); got != expected {
 		sum.anomaly("delivered %d of %d addressed slices", got, expected)
 	}

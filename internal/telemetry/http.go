@@ -24,7 +24,25 @@ func (r *Registry) Handler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		_ = r.WriteJSON(w)
 	})
+	r.mu.Lock()
+	for pattern, h := range r.routes {
+		mux.Handle(pattern, h)
+	}
+	r.mu.Unlock()
 	return mux
+}
+
+// Handle mounts an extra route on the registry's HTTP surface — the
+// way /debug/traces rides the same server as /metrics. Must be called
+// before Handler/Serve; routes added later are not picked up by an
+// already-built mux.
+func (r *Registry) Handle(pattern string, h http.Handler) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.routes == nil {
+		r.routes = make(map[string]http.Handler)
+	}
+	r.routes[pattern] = h
 }
 
 // Server is a running metrics endpoint.
@@ -51,7 +69,14 @@ func (r *Registry) Serve(addr string) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: r.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	// Explicit read-header AND write deadlines: the endpoint serves
+	// point-in-time snapshots, so a slow or stalled scraper must never
+	// pin a handler goroutine (or the response buffer) indefinitely.
+	srv := &http.Server{
+		Handler:           r.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      10 * time.Second,
+	}
 	go func() { _ = srv.Serve(ln) }()
 	return &Server{srv: srv, addr: ln.Addr().String()}, nil
 }

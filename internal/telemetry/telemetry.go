@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net/http"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -79,6 +80,9 @@ func (h *Histogram) Observe(v float64) {
 		h.sum.Add(uint64(v))
 	}
 }
+
+// Count returns how many observations the histogram has absorbed.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
 
 // Quantile estimates the q-quantile (0 < q <= 1) from the recorded
 // buckets, interpolating within the winning bucket. With no
@@ -141,6 +145,7 @@ type metric struct {
 type Registry struct {
 	mu      sync.Mutex
 	metrics map[string]*metric
+	routes  map[string]http.Handler // extra HTTP routes mounted by Handler (see Handle)
 }
 
 // New returns an empty registry.

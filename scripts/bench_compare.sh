@@ -69,7 +69,7 @@ if [ -z "$current" ]; then
     current=$(mktemp --suffix=.json)
     trap 'rm -f "$current"' EXIT
     echo "bench_compare: running gated benchmarks (baseline: $baseline)"
-    BENCH="${BENCH:-BenchmarkVerifyTrusted|BenchmarkFanOutSecure|BenchmarkSignedAdvertisement|BenchmarkParseCold|BenchmarkOpenSlice|BenchmarkRelayDelivery|BenchmarkRelayDrainDurable|BenchmarkTelemetryOverhead}" \
+    BENCH="${BENCH:-BenchmarkVerifyTrusted|BenchmarkFanOutSecure|BenchmarkSignedAdvertisement|BenchmarkParseCold|BenchmarkOpenSlice|BenchmarkRelayDelivery|BenchmarkRelayDrainDurable|BenchmarkTelemetryOverhead|BenchmarkTraceOverhead}" \
         BENCHTIME="${BENCHTIME:-1s}" BENCH_OUT="$current" ./scripts/bench.sh >/dev/null
 fi
 [ -r "$current" ] || { echo "bench_compare: unreadable current $current" >&2; exit 2; }
@@ -195,6 +195,37 @@ gate_ceiling() {
 }
 gate_ceiling "BenchmarkTelemetryOverhead/counter" "$telemetry_counter_max" "Telemetry counter Inc"
 gate_ceiling "BenchmarkTelemetryOverhead/histogram" "$telemetry_hist_max" "Telemetry histogram Observe"
+
+# Trace recorder ceilings, same absolute regime as the telemetry
+# instruments. "unsampled" is the price EVERY traced operation pays when
+# its trace lost the sampling decision — two clock reads, the seeded
+# hash compare and one atomic load, held to exactly zero allocations.
+# "sampled" adds the ring write under a shard mutex and must stay
+# alloc-free too (spans drop into a preallocated ring). The ring read
+# (/debug/traces snapshot of a full 4096-span buffer) allocates by
+# design — it builds a sorted copy — so it is held to a wall-clock
+# ceiling only.
+trace_unsampled_max="${BENCH_TRACE_UNSAMPLED_MAX_NS:-500}"
+trace_sampled_max="${BENCH_TRACE_SAMPLED_MAX_NS:-1000}"
+trace_read_max="${BENCH_TRACE_READ_MAX_NS:-20000000}"
+gate_ceiling "BenchmarkTraceOverhead/unsampled" "$trace_unsampled_max" "Trace span unsampled"
+gate_ceiling "BenchmarkTraceOverhead/sampled" "$trace_sampled_max" "Trace span sampled"
+gate_ceiling_ns() {
+    local name="$1" max="$2" label="$3" cur
+    cur=$(ns_of "$current" "$name")
+    if [ -z "$cur" ]; then
+        echo "bench_compare: $name missing from current snapshot" >&2
+        fail=1
+        return
+    fi
+    awk -v cur="$cur" -v max="$max" -v label="$label" '
+    BEGIN {
+        status = (cur > max) ? "FAIL" : "ok"
+        printf "%-42s %14s %14.4g %9s %s\n", label, "<=" max "ns", cur, "", status
+        exit (cur > max) ? 1 : 0
+    }' || fail=1
+}
+gate_ceiling_ns "BenchmarkTraceOverhead/read" "$trace_read_max" "Trace ring snapshot (4096 spans)"
 
 # Persistence-tax ratio: durable drain vs in-memory drain, both from the
 # CURRENT snapshot (same machine, same run), so this bound is absolute
