@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"jxtaoverlay/internal/advert"
+	"jxtaoverlay/internal/audit"
 	"jxtaoverlay/internal/bench"
 	"jxtaoverlay/internal/core"
 	"jxtaoverlay/internal/events"
@@ -998,6 +999,57 @@ func BenchmarkTraceOverhead(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if s := rec.Snapshot(); len(s) == 0 {
 				b.Fatal("empty snapshot")
+			}
+		}
+	})
+}
+
+// BenchmarkAuditOverhead prices the tamper-evident journal at the point
+// every security decision pays it: one Record call on the staged
+// (flusher-synced) path. The budget is one length-prefixed encode into
+// a reused stage buffer, one SHA-256 over the framed bytes to advance
+// the chain head, and one ring slot — ZERO heap allocations, gated
+// absolutely in bench_compare.sh, because offense/refusal hot paths
+// must not buy attribution with GC pressure. "synced" is the
+// fdatasync-per-append policy, reported on wall time only: that cost
+// is the disk's, not the encoder's, and deployments choose it
+// deliberately.
+func BenchmarkAuditOverhead(b *testing.B) {
+	event := audit.Event{
+		Kind: audit.KindRateLimited, Peer: "urn:jxta:cbid-bench",
+		Op: "publishAdv", Reason: "rate-limited", Trace: 0xfeed,
+	}
+	b.Run("append", func(b *testing.B) {
+		j, err := audit.Open(audit.Options{
+			Dir: b.TempDir(), SyncInterval: 50 * time.Millisecond,
+			SegmentBytes: 1 << 30, CheckpointEvery: -1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer j.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if j.Record(event) == 0 {
+				b.Fatal("append failed")
+			}
+		}
+	})
+	b.Run("synced", func(b *testing.B) {
+		j, err := audit.Open(audit.Options{
+			Dir: b.TempDir(), SyncInterval: 0,
+			SegmentBytes: 1 << 30, CheckpointEvery: -1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer j.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if j.Record(event) == 0 {
+				b.Fatal("append failed")
 			}
 		}
 	})

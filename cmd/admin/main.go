@@ -10,6 +10,8 @@
 //	admin users   -dir deploy/                      list registered users
 //	admin metrics -url localhost:9090               snapshot a broker's telemetry
 //	admin trace   -url localhost:9090               dump captured message-lifecycle traces
+//	admin audit   -url localhost:9090               tail a broker's security audit log
+//	admin audit verify -dir audit/                  verify an audit journal's hash chain + checkpoints
 package main
 
 import (
@@ -48,6 +50,8 @@ func main() {
 		err = cmdMetrics(os.Args[2:])
 	case "trace":
 		err = cmdTrace(os.Args[2:])
+	case "audit":
+		err = cmdAudit(os.Args[2:])
 	default:
 		usage()
 	}
@@ -58,13 +62,15 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: admin <init|broker|adduser|users|metrics|trace> [flags]
+	fmt.Fprintln(os.Stderr, `usage: admin <init|broker|adduser|users|metrics|trace|audit> [flags]
   init    -dir DIR [-name admin] [-bits 1024]
   broker  -dir DIR -name NAME [-validity 8760h]
   adduser -dir DIR -user USER -pass PASS [-groups g1,g2]
   users   -dir DIR
   metrics -url HOST:PORT [-timeout 5s]
-  trace   -url HOST:PORT [-trace HEXID] [-stage NAME] [-outcome NAME] [-min DUR] [-timeout 5s]`)
+  trace   -url HOST:PORT [-trace HEXID] [-stage NAME] [-outcome NAME] [-min DUR] [-timeout 5s]
+  audit   -url HOST:PORT [-kind NAME] [-peer ID] [-op NAME] [-trace HEXID] [-since SEQ] [-limit N]
+  audit verify -dir DIR [-anchor FILE] [-expect-head DIGEST] [-expect-seq N]`)
 	os.Exit(2)
 }
 

@@ -33,11 +33,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"strings"
 	"sync/atomic"
 	"time"
 
+	"jxtaoverlay/internal/audit"
 	"jxtaoverlay/internal/bench"
 	"jxtaoverlay/internal/broker"
 	"jxtaoverlay/internal/client"
@@ -65,6 +67,9 @@ func main() {
 	metricsAddr := flag.String("metrics", "", "serve the telemetry registry over HTTP on ADDR (e.g. localhost:9090)")
 	traceSample := flag.Float64("trace-sample", 0, "record message-lifecycle spans for this fraction of traces (0 disables tracing, 1 records all); anomalies are always captured")
 	traceSlow := flag.Duration("trace-slow", 100*time.Millisecond, "force-capture traces containing a span at least this slow")
+	auditDir := flag.String("audit", "", "scenario mode: write a tamper-evident audit journal to DIR and serve /debug/audit on the -metrics endpoint (verify with admin audit verify -dir DIR)")
+	pprofOn := flag.Bool("pprof", false, "mount /debug/pprof on the -metrics endpoint")
+	pprofContention := flag.Bool("pprof-contention", false, "with -pprof, also sample mutex/block contention (small process-wide overhead)")
 	linger := flag.Duration("linger", 0, "keep the -metrics endpoint up this long after the run, so admin metrics/trace can scrape a finished run")
 	verbose := flag.Bool("v", false, "log every event")
 	flag.Parse()
@@ -81,6 +86,23 @@ func main() {
 		})
 		reg.Handle("/debug/traces", tracer.DebugHandler())
 	}
+	if *pprofOn || *pprofContention {
+		reg.EnablePprof(*pprofContention)
+	}
+	// The metrics mux is built before the scenario stack opens its
+	// journal, so /debug/audit is an indirection: it answers 503 until
+	// the scenario harness hands the live journal back (OnAudit).
+	var liveAudit atomic.Pointer[audit.Journal]
+	if *auditDir != "" {
+		reg.Handle("/debug/audit", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			j := liveAudit.Load()
+			if j == nil {
+				http.Error(w, "audit journal not open yet", http.StatusServiceUnavailable)
+				return
+			}
+			j.DebugHandler().ServeHTTP(w, r)
+		}))
+	}
 	if *metricsAddr != "" {
 		srv, err := reg.Serve(*metricsAddr)
 		if err != nil {
@@ -94,7 +116,8 @@ func main() {
 	}
 
 	if *scenarioName != "" {
-		if err := runScenario(*scenarioName, *nClients, *messages, *profileName, *out, reg, tracer); err != nil {
+		onAudit := func(j *audit.Journal) { liveAudit.Store(j) }
+		if err := runScenario(*scenarioName, *nClients, *messages, *profileName, *out, *auditDir, onAudit, reg, tracer); err != nil {
 			log.Fatal(err)
 		}
 		lingerFor(*linger, *metricsAddr)
@@ -120,10 +143,15 @@ func lingerFor(d time.Duration, metricsAddr string) {
 // runScenario drives one named scenario and writes its JSON summary.
 // A run that recorded anomalies exits with status 1 AFTER writing the
 // summary: CI gets the evidence and the red build.
-func runScenario(name string, nClients, rounds int, profileName, out string, reg *telemetry.Registry, tracer *trace.Recorder) error {
+func runScenario(name string, nClients, rounds int, profileName, out, auditDir string, onAudit func(*audit.Journal), reg *telemetry.Registry, tracer *trace.Recorder) error {
 	// The flag defaults belong to the smoke sim; a scenario invoked
 	// without explicit sizes uses its own defaults instead.
-	opt := scenario.Options{Profile: profileName, Registry: reg, Tracer: tracer}
+	opt := scenario.Options{Profile: profileName, Registry: reg, Tracer: tracer, AuditDir: auditDir, OnAudit: onAudit}
+	if auditDir != "" {
+		if err := os.MkdirAll(auditDir, 0o755); err != nil {
+			return err
+		}
+	}
 	if explicitFlag("clients") {
 		opt.Clients = nClients
 	}
@@ -253,7 +281,7 @@ func run(nClients int, secure bool, profileName string, messages int, churn, res
 		return err
 	}
 	defer func() { rly.Close() }()
-	core.RegisterBrokerTelemetry(reg, br, bs, rly, nil)
+	core.RegisterBrokerTelemetry(reg, br, bs, rly, nil, nil)
 	fmt.Printf("broker %q up (secure=%v, profile=%s, churn=%v)\n", br.Name(), secure, profileName, churn)
 
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
@@ -405,7 +433,7 @@ func run(nClients int, secure bool, profileName string, messages int, churn, res
 			}
 			// Rebind the relay collectors to the recovered instance — the
 			// registry replaces same-name collectors in place.
-			core.RegisterBrokerTelemetry(reg, br, bs, rly, nil)
+			core.RegisterBrokerTelemetry(reg, br, bs, rly, nil, nil)
 			m := rly.Metrics()
 			fmt.Printf("restart: relay recovered %d of %d queued slices (%d expired while down, %d already acked)\n",
 				m.RecoveryReplayed, queuedBefore, m.RecoveryDiscardedTTL, m.RecoveryDiscardedGuard)

@@ -1,0 +1,74 @@
+package audit
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"jxtaoverlay/internal/cred"
+	"jxtaoverlay/internal/keys"
+)
+
+// Shared signing fixture: one admin anchor and one broker credential,
+// generated once — RSA keygen is the expensive part of every test here.
+var (
+	fixOnce  sync.Once
+	fixErr   error
+	fixKP    *keys.KeyPair
+	fixChain []*cred.Credential
+	fixTrust *cred.TrustStore
+)
+
+func signer(t testing.TB) (*keys.KeyPair, []*cred.Credential, *cred.TrustStore) {
+	t.Helper()
+	fixOnce.Do(func() {
+		adminKP, err := keys.NewKeyPair()
+		if err != nil {
+			fixErr = err
+			return
+		}
+		adm, err := cred.SelfSigned(adminKP, "admin", time.Hour)
+		if err != nil {
+			fixErr = err
+			return
+		}
+		brKP, err := keys.NewKeyPair()
+		if err != nil {
+			fixErr = err
+			return
+		}
+		brID, err := keys.CBID(brKP.Public())
+		if err != nil {
+			fixErr = err
+			return
+		}
+		brCred, err := cred.Issue(adminKP, adm.Subject, brID, "broker-1", cred.RoleBroker, brKP.Public(), time.Hour)
+		if err != nil {
+			fixErr = err
+			return
+		}
+		ts, err := cred.NewTrustStore(adm)
+		if err != nil {
+			fixErr = err
+			return
+		}
+		fixKP, fixChain, fixTrust = brKP, []*cred.Credential{brCred}, ts
+	})
+	if fixErr != nil {
+		t.Fatalf("fixture: %v", fixErr)
+	}
+	return fixKP, fixChain, fixTrust
+}
+
+func ev(i int) Event {
+	return Event{Kind: KindLogin, Peer: "urn:jxta:cbid-peer", Op: "secureLogin", Reason: "ok", Trace: uint64(i)}
+}
+
+func mustRecord(t testing.TB, j *Journal, e Event) uint64 {
+	t.Helper()
+	seq := j.Record(e)
+	if seq == 0 {
+		t.Fatalf("Record(%+v) returned 0 (journal failed: %+v)", e, j.Stats())
+	}
+	return seq
+}

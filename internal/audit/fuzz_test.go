@@ -1,0 +1,58 @@
+package audit
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzAuditDecode pins the decoder's two safety properties under
+// arbitrary input, the same contract the relay WAL's FuzzWALDecode
+// holds (and CI corpus-ratchets):
+//
+//  1. no crash, no giant allocation — DecodeRecord either returns a
+//     record or an error, never panics;
+//  2. bijection — any input the decoder accepts re-encodes to the
+//     identical bytes, so there is no byte sequence that decodes
+//     validly but would hash differently when re-framed (a prerequisite
+//     for the hash chain's "framed bytes are the canonical form").
+func FuzzAuditDecode(f *testing.F) {
+	// Seed with one valid record of each frame, plus mutations the
+	// fuzzer can splice.
+	var prev [HashSize]byte
+	evRec, err := AppendRecord(nil, Record{
+		Frame: FrameEvent, Seq: 1, Prev: prev, Time: 1234567890,
+		Trace: 42, Kind: KindLogin, Peer: "urn:jxta:cbid-ab", Op: "secureLogin", Reason: "ok",
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(evRec)
+	ckRec, err := AppendRecord(nil, Record{
+		Frame: FrameCheckpoint, Seq: 2, Prev: prev, Time: 1234567890,
+		Checkpoint: []byte("<AuditCheckpoint>not actually signed</AuditCheckpoint>"),
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(ckRec)
+	f.Add(append(evRec[:len(evRec):len(evRec)], ckRec...))
+	f.Add(evRec[:len(evRec)/2])
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, n, err := DecodeRecord(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("accepted record claims %d of %d bytes", n, len(data))
+		}
+		re, err := AppendRecord(nil, rec)
+		if err != nil {
+			t.Fatalf("accepted record does not re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data[:n]) {
+			t.Fatalf("decode/encode not a bijection:\n in  %x\n out %x", data[:n], re)
+		}
+	})
+}

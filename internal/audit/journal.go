@@ -1,0 +1,666 @@
+// Package audit is the broker's tamper-evident security event journal:
+// an append-only, hash-chained log of every security-relevant decision
+// the stack makes — offenses, admission refusals, relay drops, WAL
+// errors, replay/verify/open failures, login and renew outcomes,
+// federation presence transitions — durable across restarts and
+// verifiable after the fact.
+//
+// Tamper evidence has three layers. Each record is CRC-framed (against
+// accidental damage) and carries the SHA-256 of its predecessor's full
+// framed bytes, so the journal is a hash chain: flipping a bit,
+// reordering records or splicing segments breaks the chain at an exact
+// byte offset. Periodically the chain is sealed by a checkpoint record
+// whose payload is a broker-signed XMLdsig attestation of (chain head,
+// record count, timestamp) — the same signature shape and credential
+// chain advertisements use — so a forged chain rewrite needs the
+// broker's private key, and a truncation past a checkpoint the auditor
+// has seen is provable rollback. Verify replays the whole journal and
+// reports the first bad segment+offset; see SECURITY.md, "Audit trust
+// model", for exactly what each layer does and does not prove.
+//
+// The storage machinery is patterned on internal/relay/wal — CRC +
+// length-prefix framing, numbered segments, staged appends drained by a
+// background flusher with the fsync off the append lock — with one
+// deliberate difference: rotation NEVER deletes. The WAL compacts
+// because it tracks live queue state; an audit journal's whole point is
+// history, so outgrowing SegmentBytes just starts a fresh segment and
+// the old ones stay, hash-chained across the boundary.
+package audit
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"jxtaoverlay/internal/cred"
+	"jxtaoverlay/internal/keys"
+)
+
+// Event kinds. The vocabulary is part of the operational surface
+// (queries filter on it); extend it, don't repurpose it.
+const (
+	// KindOffense: an out-of-band refusal fed into offender tracking
+	// (relay quota rejections and similar).
+	KindOffense = "offense"
+	// KindAlert: a SecurityAlert was raised (offense streak crossed the
+	// admission threshold, or a client-side open failure).
+	KindAlert = "alert"
+	// KindRateLimited: admission control refused an operation.
+	KindRateLimited = "rate-limited"
+	// KindRelayDrop: the relay shed a slice (quota or overflow).
+	KindRelayDrop = "relay-drop"
+	// KindWALError: the relay WAL failed to log a queue mutation.
+	KindWALError = "wal-error"
+	// KindOpenFail: a secure envelope failed verification/open at a
+	// receiving peer (replay, tampering, unknown sender...).
+	KindOpenFail = "open-fail"
+	// KindLogin: a secureLogin outcome (reason "ok" or the error token).
+	KindLogin = "login"
+	// KindRenew: a credential renewal outcome.
+	KindRenew = "renew"
+	// KindPeerUp / KindPeerDown: presence transitions, local and
+	// federated.
+	KindPeerUp   = "peer-up"
+	KindPeerDown = "peer-down"
+)
+
+// Event is one security event to be journaled. Strings beyond the
+// codec's field bound are truncated, never rejected — an audit path
+// must not refuse to record an event because an attacker padded a
+// field.
+type Event struct {
+	Kind   string
+	Peer   string
+	Op     string
+	Reason string
+	Trace  uint64
+}
+
+// ErrJournalFailed is returned by Sync/Close after the journal has
+// failed (an I/O error). Appends after a failure are silently counted
+// as lost — the security surface keeps working; the journal just stops
+// being written, exactly like a dying disk.
+var ErrJournalFailed = errors.New("audit: journal failed")
+
+// ErrJournalDamaged is returned by Open when a non-final segment (or a
+// non-tail region) fails to replay. Unlike the relay WAL, the journal
+// refuses to append onto a broken chain: damage beyond a crash's torn
+// tail is evidence, and evidence wants Verify, not overwriting.
+var ErrJournalDamaged = errors.New("audit: journal damaged")
+
+// Options parameterizes a Journal.
+type Options struct {
+	// Dir is the directory holding the segments (required).
+	Dir string
+	// SyncInterval batches fsyncs exactly like the relay WAL: 0 syncs
+	// every append before it returns; a positive value stages appends
+	// in memory and a background flusher writes+fsyncs each batch that
+	// often; a negative value writes inline but never syncs (tests).
+	SyncInterval time.Duration
+	// SegmentBytes is the size the active segment may reach before a
+	// fresh one is started (0 = 4 MiB). Old segments are never deleted.
+	SegmentBytes int64
+	// CheckpointEvery is how many records may accumulate before the
+	// chain is sealed with a signed checkpoint (0 = 256; negative =
+	// only on Close). Ignored without a Signer.
+	CheckpointEvery int
+	// Signer is the broker keypair sealing checkpoints (nil = the
+	// journal chains but is never checkpointed).
+	Signer *keys.KeyPair
+	// Chain is the signer's credential chain, leaf first; Chain[0].Key
+	// must be Signer's public key. Required when Signer is set.
+	Chain []*cred.Credential
+	// Clock overrides time.Now (tests).
+	Clock func() time.Time
+	// RingSize bounds the in-memory query ring backing /debug/audit
+	// (0 = 4096).
+	RingSize int
+}
+
+// Stats is a point-in-time snapshot of journal counters.
+type Stats struct {
+	// Records is the total appended this process (checkpoints included).
+	Records uint64
+	// Recovered is how many records Open replayed from disk.
+	Recovered uint64
+	// Checkpoints counts signed checkpoints appended this process.
+	Checkpoints uint64
+	// Lost counts events dropped because the journal had failed.
+	Lost uint64
+	// TornBytes is how many trailing bytes Open truncated off the final
+	// segment (a crash mid-append).
+	TornBytes int64
+	// Segments is the number of on-disk segments (history included).
+	Segments int
+	// Seq is the last assigned sequence number.
+	Seq uint64
+	// Failed reports the sticky failure state.
+	Failed bool
+}
+
+// Journal is an open audit journal.
+type Journal struct {
+	opts  Options
+	every int
+
+	// syncMu serializes batched fsyncs (the flusher and Sync), acquired
+	// BEFORE mu and never while holding it — the write+fsync run with mu
+	// released so appends keep flowing while the disk catches up (same
+	// split as the relay WAL).
+	syncMu sync.Mutex
+
+	mu        sync.Mutex
+	f         *os.File
+	segFirst  int // lowest on-disk segment index (history floor)
+	segIndex  int // active segment index
+	segBytes  int64
+	buf       []byte // reusable encode buffer (inline mode + checkpoints)
+	stage     []byte // batched mode: encoded records awaiting the flusher
+	spare     []byte // recycled staging buffer
+	seq       uint64
+	head      [HashSize]byte
+	sinceCkpt int // records since the last checkpoint
+	recovered uint64
+	appended  uint64
+	ckpts     uint64
+	lost      uint64
+	tornBytes int64
+	err       error // sticky failure
+
+	ring     []ringEntry
+	ringNext int
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+type ringEntry struct {
+	seq  uint64
+	time int64
+	ev   Event
+}
+
+const defaultSegmentBytes = 4 << 20
+
+func segName(i int) string { return fmt.Sprintf("audit-%08d.seg", i) }
+
+// Open replays the segments in dir (creating it if needed) and returns
+// the journal ready for appends, its chain state restored. A torn tail
+// on the final segment is truncated away (crash artifact); any other
+// damage fails with ErrJournalDamaged — run Verify on the directory to
+// locate it.
+func Open(opts Options) (*Journal, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("audit: Options.Dir is required")
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = defaultSegmentBytes
+	}
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	if opts.RingSize <= 0 {
+		opts.RingSize = 4096
+	}
+	if opts.Signer != nil && len(opts.Chain) == 0 {
+		return nil, errors.New("audit: Signer requires a credential Chain")
+	}
+	every := opts.CheckpointEvery
+	if every == 0 {
+		every = 256
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	segs, err := listSegments(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+
+	j := &Journal{
+		opts:  opts,
+		every: every,
+		ring:  make([]ringEntry, opts.RingSize),
+		stop:  make(chan struct{}),
+	}
+	// The torn-tail allowance applies to the last segment holding any
+	// data, not merely the last file: rotation opens the next segment
+	// the moment the old one fills, so a crash (or a truncation) right
+	// at the boundary leaves the torn record in a segment followed only
+	// by empty ones.
+	lastData := -1
+	for si, seg := range segs {
+		if fi, serr := os.Stat(filepath.Join(opts.Dir, segName(seg))); serr == nil && fi.Size() > 0 {
+			lastData = si
+		}
+	}
+	for si, seg := range segs {
+		final := si >= lastData
+		if err := j.replaySegment(filepath.Join(opts.Dir, segName(seg)), final); err != nil {
+			return nil, err
+		}
+	}
+
+	j.segFirst, j.segIndex = 0, 0
+	if len(segs) > 0 {
+		j.segFirst = segs[0]
+		j.segIndex = segs[len(segs)-1]
+	}
+	path := filepath.Join(opts.Dir, segName(j.segIndex))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if fi, err := f.Stat(); err == nil {
+		j.segBytes = fi.Size()
+	}
+	j.f = f
+
+	if opts.SyncInterval > 0 {
+		j.wg.Add(1)
+		go j.flusher(j.stop)
+	}
+	return j, nil
+}
+
+func listSegments(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []int
+	for _, e := range entries {
+		var i int
+		if n, _ := fmt.Sscanf(e.Name(), "audit-%d.seg", &i); n == 1 {
+			segs = append(segs, i)
+		}
+	}
+	sort.Ints(segs)
+	return segs, nil
+}
+
+// replaySegment re-derives the chain state (seq, head) across one
+// segment. The chain links are re-checked during replay: appending onto
+// an already broken chain would launder the break into "it verified
+// when written".
+func (j *Journal) replaySegment(path string, final bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	off := 0
+	for off < len(data) {
+		rec, n, derr := DecodeRecord(data[off:])
+		if derr != nil {
+			if final && errors.Is(derr, ErrShortRecord) {
+				// Crash artifact: truncate so appends resume at a clean
+				// boundary. Anything else is damage, not a crash.
+				j.tornBytes = int64(len(data) - off)
+				if terr := os.Truncate(path, int64(off)); terr != nil {
+					return terr
+				}
+				return nil
+			}
+			return fmt.Errorf("%w: %s@%d: %v", ErrJournalDamaged, filepath.Base(path), off, derr)
+		}
+		if rec.Seq != j.seq+1 || rec.Prev != j.head {
+			return fmt.Errorf("%w: %s@%d: hash chain break at seq %d", ErrJournalDamaged, filepath.Base(path), off, rec.Seq)
+		}
+		j.head = sha256.Sum256(data[off : off+n])
+		j.seq = rec.Seq
+		j.recovered++
+		if rec.Frame == FrameEvent {
+			j.storeRing(rec.Seq, rec.Time, Event{
+				Kind: rec.Kind, Peer: rec.Peer, Op: rec.Op, Reason: rec.Reason, Trace: rec.Trace,
+			})
+		}
+		off += n
+	}
+	return nil
+}
+
+// Record appends one event and returns its sequence number (0 when the
+// journal is nil or has failed — the event is counted lost, never
+// blocks the caller). This is the hot emit path: with a positive
+// SyncInterval it costs one encode, one SHA-256 and a ring store under
+// a mutex — no syscalls, no allocations steady-state (bench-gated by
+// BenchmarkAuditOverhead/append).
+func (j *Journal) Record(e Event) uint64 {
+	if j == nil {
+		return 0
+	}
+	clampEvent(&e)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		j.lost++
+		return 0
+	}
+	rec := Record{
+		Frame: FrameEvent, Seq: j.seq + 1, Prev: j.head,
+		Time:  j.opts.Clock().UnixNano(),
+		Trace: e.Trace, Kind: e.Kind, Peer: e.Peer, Op: e.Op, Reason: e.Reason,
+	}
+	if j.opts.SyncInterval > 0 {
+		start := len(j.stage)
+		var err error
+		j.stage, err = AppendRecord(j.stage, rec)
+		if err != nil {
+			j.fail(err)
+			j.lost++
+			return 0
+		}
+		j.commitLocked(rec, j.stage[start:])
+		return rec.Seq
+	}
+	if err := j.writeLocked(rec); err != nil {
+		j.lost++
+		return 0
+	}
+	j.maybeCheckpointLocked()
+	return rec.Seq
+}
+
+// clampEvent truncates oversized fields instead of rejecting the event.
+func clampEvent(e *Event) {
+	if len(e.Kind) > maxFieldLen {
+		e.Kind = e.Kind[:maxFieldLen]
+	}
+	if len(e.Peer) > maxFieldLen {
+		e.Peer = e.Peer[:maxFieldLen]
+	}
+	if len(e.Op) > maxFieldLen {
+		e.Op = e.Op[:maxFieldLen]
+	}
+	if len(e.Reason) > maxFieldLen {
+		e.Reason = e.Reason[:maxFieldLen]
+	}
+}
+
+// commitLocked advances the chain over one encoded record.
+func (j *Journal) commitLocked(rec Record, framed []byte) {
+	j.head = sha256.Sum256(framed)
+	j.seq = rec.Seq
+	j.appended++
+	j.sinceCkpt++
+	if rec.Frame == FrameEvent {
+		j.storeRing(rec.Seq, rec.Time, Event{
+			Kind: rec.Kind, Peer: rec.Peer, Op: rec.Op, Reason: rec.Reason, Trace: rec.Trace,
+		})
+	} else {
+		j.ckpts++
+		j.sinceCkpt = 0
+	}
+}
+
+func (j *Journal) storeRing(seq uint64, ts int64, ev Event) {
+	j.ring[j.ringNext] = ringEntry{seq: seq, time: ts, ev: ev}
+	j.ringNext = (j.ringNext + 1) % len(j.ring)
+}
+
+// writeLocked encodes and writes one record inline (sync-per-append and
+// never-sync modes), fsyncing when SyncInterval is 0.
+func (j *Journal) writeLocked(rec Record) error {
+	var err error
+	j.buf, err = AppendRecord(j.buf[:0], rec)
+	if err != nil {
+		j.fail(err)
+		return err
+	}
+	n, err := j.f.Write(j.buf)
+	j.segBytes += int64(n)
+	if err != nil {
+		j.fail(err)
+		return err
+	}
+	j.commitLocked(rec, j.buf)
+	if j.opts.SyncInterval == 0 {
+		if err := j.f.Sync(); err != nil {
+			j.fail(err)
+			return err
+		}
+	}
+	return j.maybeRotateLocked()
+}
+
+// maybeCheckpointLocked seals the chain when enough records have
+// accumulated. The RSA signature runs with mu held — a deliberate
+// trade: a checkpoint every CheckpointEvery records stalls appends for
+// one signature (~hundreds of µs), amortizing to well under the cost of
+// the events it covers, and keeping the signed head exactly consistent
+// with the chain position without a reservation protocol.
+func (j *Journal) maybeCheckpointLocked() {
+	if j.opts.Signer == nil || j.every < 0 || j.sinceCkpt < j.every {
+		return
+	}
+	j.checkpointLocked()
+}
+
+func (j *Journal) checkpointLocked() {
+	if j.opts.Signer == nil || j.sinceCkpt == 0 || j.err != nil {
+		return
+	}
+	rec := Record{Frame: FrameCheckpoint, Seq: j.seq + 1, Prev: j.head, Time: j.opts.Clock().UnixNano()}
+	payload, err := buildCheckpoint(rec.Seq, rec.Prev, time.Unix(0, rec.Time), j.opts.Signer, j.opts.Chain)
+	if err != nil {
+		j.fail(err)
+		return
+	}
+	rec.Checkpoint = payload
+	if j.opts.SyncInterval > 0 {
+		start := len(j.stage)
+		if j.stage, err = AppendRecord(j.stage, rec); err != nil {
+			j.fail(err)
+			return
+		}
+		j.commitLocked(rec, j.stage[start:])
+		return
+	}
+	_ = j.writeLocked(rec)
+}
+
+// maybeRotateLocked starts a fresh segment once the active one outgrows
+// its budget. Nothing is deleted — the journal is history.
+func (j *Journal) maybeRotateLocked() error {
+	if j.segBytes < j.opts.SegmentBytes {
+		return nil
+	}
+	if err := j.f.Sync(); err != nil {
+		j.fail(err)
+		return err
+	}
+	next := j.segIndex + 1
+	nf, err := os.OpenFile(filepath.Join(j.opts.Dir, segName(next)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		j.fail(err)
+		return err
+	}
+	j.f.Close()
+	j.f = nf
+	j.segIndex = next
+	j.segBytes = 0
+	return nil
+}
+
+// Sync forces the staged batch (if any) to disk.
+func (j *Journal) Sync() error {
+	if j == nil {
+		return nil
+	}
+	return j.syncBatch(false)
+}
+
+// syncBatch drains the staging buffer with one write+fsync, mu released
+// during the syscalls (the WAL's lock split). With checkpoint=true a
+// due (or final) checkpoint is staged first.
+func (j *Journal) syncBatch(checkpoint bool) error {
+	j.syncMu.Lock()
+	defer j.syncMu.Unlock()
+	j.mu.Lock()
+	if j.err != nil {
+		err := j.err
+		j.mu.Unlock()
+		return err
+	}
+	if checkpoint {
+		j.checkpointLocked()
+	} else if j.opts.Signer != nil && j.every > 0 && j.sinceCkpt >= j.every {
+		j.checkpointLocked()
+	}
+	if len(j.stage) == 0 {
+		j.mu.Unlock()
+		return nil
+	}
+	batch := j.stage
+	j.stage = j.spare[:0]
+	j.spare = nil
+	f := j.f
+	j.mu.Unlock()
+
+	written, werr := f.Write(batch)
+	var serr error
+	if werr == nil {
+		serr = f.Sync()
+	}
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if cap(batch) > cap(j.spare) {
+		j.spare = batch[:0]
+	}
+	j.segBytes += int64(written)
+	if werr != nil {
+		j.fail(werr)
+		return werr
+	}
+	if serr != nil {
+		j.fail(serr)
+		return serr
+	}
+	return j.maybeRotateLocked()
+}
+
+func (j *Journal) fail(err error) {
+	if j.err == nil {
+		j.err = fmt.Errorf("%w: %w", ErrJournalFailed, err)
+	}
+}
+
+func (j *Journal) flusher(stop <-chan struct{}) {
+	defer j.wg.Done()
+	t := time.NewTicker(j.opts.SyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			_ = j.syncBatch(false)
+		}
+	}
+}
+
+// Checkpoint seals the chain now, regardless of cadence (tests, and
+// operators wanting a fresh attestation before archiving).
+func (j *Journal) Checkpoint() error {
+	if j == nil {
+		return nil
+	}
+	if j.opts.SyncInterval > 0 {
+		return j.syncBatch(true)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	j.checkpointLocked()
+	return j.err
+}
+
+// Close seals the chain with a final checkpoint, flushes and closes.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	if j.stop != nil {
+		close(j.stop)
+		j.stop = nil
+	}
+	failed := j.err != nil
+	j.mu.Unlock()
+	j.wg.Wait()
+	var err error
+	if !failed {
+		if j.opts.SyncInterval > 0 {
+			err = j.syncBatch(true)
+		} else {
+			j.mu.Lock()
+			j.checkpointLocked()
+			err = j.err
+			j.mu.Unlock()
+		}
+		if err == nil {
+			j.mu.Lock()
+			if j.f != nil {
+				err = j.f.Sync()
+			}
+			j.mu.Unlock()
+		}
+	}
+	j.syncMu.Lock()
+	defer j.syncMu.Unlock()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f != nil {
+		if cerr := j.f.Close(); err == nil {
+			err = cerr
+		}
+		j.f = nil
+	}
+	return err
+}
+
+// Head returns the current chain head — the externally rememberable
+// trust point that makes rollback provable (pass it to Verify as
+// ExpectHead).
+func (j *Journal) Head() [HashSize]byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.head
+}
+
+// Seq returns the last assigned sequence number.
+func (j *Journal) Seq() uint64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}
+
+// Stats snapshots the journal counters (telemetry collectors read it).
+func (j *Journal) Stats() Stats {
+	if j == nil {
+		return Stats{}
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Stats{
+		Records:     j.appended,
+		Recovered:   j.recovered,
+		Checkpoints: j.ckpts,
+		Lost:        j.lost,
+		TornBytes:   j.tornBytes,
+		Segments:    j.segIndex - j.segFirst + 1,
+		Seq:         j.seq,
+		Failed:      j.err != nil,
+	}
+}

@@ -26,6 +26,7 @@ import (
 
 	"jxtaoverlay/internal/admission"
 	"jxtaoverlay/internal/advert"
+	"jxtaoverlay/internal/audit"
 	"jxtaoverlay/internal/control"
 	"jxtaoverlay/internal/discovery"
 	"jxtaoverlay/internal/endpoint"
@@ -116,6 +117,11 @@ type Broker struct {
 	// atomic pointer so SetTracer needs no lock against the dispatch
 	// path.
 	tracer atomic.Pointer[trace.Recorder]
+
+	// Tamper-evident security event journal (nil pointer load = audit
+	// off; Journal.Record is nil-safe). Same lock-free install as the
+	// tracer.
+	auditor atomic.Pointer[audit.Journal]
 
 	// Operation counters (see Stats). Plain atomics on the dispatch
 	// path; the telemetry layer reads them through pull collectors.
@@ -284,6 +290,29 @@ func (b *Broker) SetTracer(r *trace.Recorder) {
 // Tracer returns the installed recorder (nil when tracing is off).
 func (b *Broker) Tracer() *trace.Recorder { return b.tracer.Load() }
 
+// SetAuditor installs the tamper-evident security event journal:
+// offense records, admission refusals, SecurityAlerts and presence
+// transitions are appended to it from then on, each with the trace ID
+// of the message that caused it (key "audit" in alert payloads carries
+// the journal sequence number, so an alert is joinable to both its
+// audit record and its trace waterfall).
+func (b *Broker) SetAuditor(j *audit.Journal) {
+	if j == nil {
+		return
+	}
+	b.auditor.Store(j)
+}
+
+// Auditor returns the installed journal (nil when auditing is off).
+// The relay and security extension inherit it so one SetAuditor call
+// covers the whole deployment.
+func (b *Broker) Auditor() *audit.Journal { return b.auditor.Load() }
+
+// Audit appends one event to the installed journal and returns its
+// sequence number (0 when auditing is off). Exposed for the op
+// handlers grafted on by internal/core.
+func (b *Broker) Audit(e audit.Event) uint64 { return b.auditor.Load().Record(e) }
+
 // TraceID extracts the message's lifecycle trace ID (0 when tracing is
 // off or the message is untraced). Op handlers outside this package
 // (relay, security extension) use it to continue the sender's trace.
@@ -304,6 +333,7 @@ func (b *Broker) TraceID(msg *endpoint.Message) uint64 {
 // no-op without admission control. traceID (0 = untraced) correlates
 // the alert with the refused message's captured trace.
 func (b *Broker) RecordOffense(from keys.PeerID, op, reason string, traceID uint64) {
+	b.Audit(audit.Event{Kind: audit.KindOffense, Peer: string(from), Op: op, Reason: reason, Trace: traceID})
 	adm := b.Admission()
 	if adm == nil {
 		return
@@ -321,6 +351,13 @@ func (b *Broker) emitAdmissionAlert(from keys.PeerID, op, reason string, offense
 	}
 	if traceID != 0 {
 		payload["trace"] = trace.FormatID(traceID)
+	}
+	// The alert's audit record is appended BEFORE the bus event so the
+	// payload can carry its sequence number: an alert consumer can then
+	// retrieve the durable record (/debug/audit?since=seq-1) and, via
+	// the trace ID both carry, the captured waterfall.
+	if seq := b.Audit(audit.Event{Kind: audit.KindAlert, Peer: string(from), Op: op, Reason: reason, Trace: traceID}); seq != 0 {
+		payload["audit"] = strconv.FormatUint(seq, 10)
 	}
 	b.ctl.Emit(events.SecurityAlert, from, "", payload, nil)
 }
@@ -353,6 +390,7 @@ func (b *Broker) dispatch(from keys.PeerID, msg *endpoint.Message) *endpoint.Mes
 			// (and the trace's remaining stages) even when unsampled, so
 			// the alert's trace ID is always retrievable.
 			b.tracer.Load().End(sp, trace.OutcomeRateLimited)
+			b.Audit(audit.Event{Kind: audit.KindRateLimited, Peer: string(from), Op: op, Reason: proto.ErrRateLimited, Trace: tid})
 			if d.Alert {
 				b.emitAdmissionAlert(from, op, proto.ErrRateLimited, d.Offenses, tid)
 			}
@@ -467,6 +505,7 @@ func (b *Broker) registerPeerAt(id keys.PeerID, username string, groups []string
 	if origin == "" {
 		b.fedBroadcast(peerUpMessage(info))
 	}
+	b.Audit(audit.Event{Kind: audit.KindPeerUp, Peer: string(id), Op: "presence", Reason: presenceOrigin(origin)})
 	b.ctl.Emit(events.PresenceUpdate, id, "", map[string]string{"user": username, "status": advert.StatusOnline}, nil)
 }
 
@@ -513,7 +552,16 @@ func (b *Broker) unregisterPeerAt(id keys.PeerID, announce bool, session time.Ti
 			AddString(proto.ElemPeer, string(id)).
 			AddString(proto.ElemFedSession, strconv.FormatInt(sessionAt.UnixNano(), 10)))
 	}
+	b.Audit(audit.Event{Kind: audit.KindPeerDown, Peer: string(id), Op: "presence", Reason: presenceOrigin(info.Origin)})
 	b.ctl.Emit(events.PresenceUpdate, id, "", map[string]string{"user": info.Username, "status": advert.StatusOffline}, nil)
+}
+
+// presenceOrigin labels a presence audit record's provenance.
+func presenceOrigin(origin keys.PeerID) string {
+	if origin == "" {
+		return "local"
+	}
+	return "federated"
 }
 
 // Peer returns the broker's record for a peer.

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"jxtaoverlay/internal/advert"
+	"jxtaoverlay/internal/audit"
 	"jxtaoverlay/internal/broker"
 	"jxtaoverlay/internal/cred"
 	"jxtaoverlay/internal/endpoint"
@@ -172,6 +173,15 @@ func (bs *BrokerSecurity) consumeSid(sid string) bool {
 	return now.Sub(issued) <= bs.cfg.SidTTL
 }
 
+// auditAuth records one authentication outcome — "ok", or the proto
+// error token the client was refused with — in the broker's audit
+// journal. Outcomes that never identified a claimant (undecryptable or
+// malformed requests) are not audited: there is no peer to attribute
+// them to, and the rate limiter's refusals are audited separately.
+func (bs *BrokerSecurity) auditAuth(kind string, peer keys.PeerID, op, reason string) {
+	bs.b.Audit(audit.Event{Kind: kind, Peer: string(peer), Op: op, Reason: reason})
+}
+
 // handleSecureLogin implements the broker side of §4.2.2.
 func (bs *BrokerSecurity) handleSecureLogin(from keys.PeerID, msg *endpoint.Message) *endpoint.Message {
 	envBytes, ok := msg.Get(proto.ElemEnvelope)
@@ -206,17 +216,20 @@ func (bs *BrokerSecurity) handleSecureLogin(from keys.PeerID, msg *endpoint.Mess
 
 	// Step 5: single-use session identifier (anti-replay).
 	if !bs.consumeSid(sid) {
+		bs.auditAuth(audit.KindLogin, peerID, proto.OpSecureLogin, proto.ErrBadSid)
 		return proto.Fail(proto.ErrBadSid)
 	}
 
 	// Verify the request signature S_SKCl(username, password, PKCl).
 	if err := clientKey.Verify(doc.CanonicalSkip("Signature"), sig); err != nil {
+		bs.auditAuth(audit.KindLogin, peerID, proto.OpSecureLogin, proto.ErrBadSignature)
 		return proto.Fail(proto.ErrBadSignature)
 	}
 
 	// Step 7: key authenticity against the claimed peer identifier
 	// (CBID binding, the mechanism of [15]).
 	if err := keys.VerifyCBID(peerID, clientKey); err != nil {
+		bs.auditAuth(audit.KindLogin, peerID, proto.OpSecureLogin, proto.ErrCBIDMismatch)
 		return proto.Fail(proto.ErrCBIDMismatch)
 	}
 
@@ -225,6 +238,7 @@ func (bs *BrokerSecurity) handleSecureLogin(from keys.PeerID, msg *endpoint.Mess
 	defer cancel()
 	groups, err := bs.b.DB().Authenticate(ctx, user, pass)
 	if err != nil {
+		bs.auditAuth(audit.KindLogin, peerID, proto.OpSecureLogin, proto.ErrAuthFailed)
 		return proto.Fail(proto.ErrAuthFailed)
 	}
 
@@ -239,6 +253,7 @@ func (bs *BrokerSecurity) handleSecureLogin(from keys.PeerID, msg *endpoint.Mess
 	}
 
 	bs.b.RegisterPeer(peerID, user, groups)
+	bs.auditAuth(audit.KindLogin, peerID, proto.OpSecureLogin, "ok")
 
 	resp := proto.OK().
 		AddString(proto.ElemGroups, joinCSV(groups)).

@@ -66,6 +66,12 @@ func EnableBrokerRelay(b *broker.Broker, cfg RelayConfig) (*relay.Relay, error) 
 		// whole broker-side lifecycle.
 		cfg.Tracer = b.Tracer()
 	}
+	if cfg.Auditor == nil {
+		// Same inheritance for the audit journal: SetAuditor before
+		// EnableBrokerRelay and the relay's drops and WAL faults land in
+		// the broker's tamper-evident log.
+		cfg.Auditor = b.Auditor()
+	}
 	tr := cfg.Tracer
 	var r *relay.Relay
 	deliver := func(it relay.Item) error {

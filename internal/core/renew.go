@@ -6,6 +6,7 @@ import (
 	"errors"
 	"time"
 
+	"jxtaoverlay/internal/audit"
 	"jxtaoverlay/internal/cred"
 	"jxtaoverlay/internal/endpoint"
 	"jxtaoverlay/internal/keys"
@@ -129,20 +130,25 @@ func (bs *BrokerSecurity) handleSecureRenew(from keys.PeerID, msg *endpoint.Mess
 	}
 	current, err := cred.Parse(credDoc)
 	if err != nil {
+		bs.auditAuth(audit.KindRenew, from, OpSecureRenew, proto.ErrBadCredential)
 		return proto.Fail(proto.ErrBadCredential)
 	}
 	// Only credentials this broker issued, still within validity.
 	if current.Issuer != bs.cfg.Credential.Subject {
+		bs.auditAuth(audit.KindRenew, current.Subject, OpSecureRenew, proto.ErrBadCredential)
 		return proto.Fail(proto.ErrBadCredential)
 	}
 	if err := current.Verify(bs.cfg.KeyPair.Public(), bs.now()); err != nil {
+		bs.auditAuth(audit.KindRenew, current.Subject, OpSecureRenew, proto.ErrBadCredential)
 		return proto.Fail(proto.ErrBadCredential)
 	}
 	// Proof of key possession over the whole request.
 	if err := current.Key.Verify(body, sig); err != nil {
+		bs.auditAuth(audit.KindRenew, current.Subject, OpSecureRenew, proto.ErrBadSignature)
 		return proto.Fail(proto.ErrBadSignature)
 	}
 	if err := keys.VerifyCBID(current.Subject, current.Key); err != nil {
+		bs.auditAuth(audit.KindRenew, current.Subject, OpSecureRenew, proto.ErrCBIDMismatch)
 		return proto.Fail(proto.ErrCBIDMismatch)
 	}
 	ts, err := time.Parse(time.RFC3339Nano, doc.ChildText("Timestamp"))
@@ -157,6 +163,7 @@ func (bs *BrokerSecurity) handleSecureRenew(from keys.PeerID, msg *endpoint.Mess
 	if err != nil {
 		return proto.Fail(proto.ErrBadRequest)
 	}
+	bs.auditAuth(audit.KindRenew, current.Subject, OpSecureRenew, "ok")
 	return proto.OK().AddXML(proto.ElemCred, freshDoc.Canonical())
 }
 

@@ -6,10 +6,13 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"jxtaoverlay/internal/advert"
+	"jxtaoverlay/internal/audit"
 	"jxtaoverlay/internal/client"
 	"jxtaoverlay/internal/cred"
 	"jxtaoverlay/internal/endpoint"
@@ -78,6 +81,11 @@ type SecureClient struct {
 	// advertisement rather than once per message.
 	vcache *xdsig.VerifyCache
 
+	// auditor receives every client-side security refusal (the
+	// SecurityAlert surface: open, replay and verification failures) as
+	// a tamper-evident audit record. Nil = off; loads are nil-tolerant.
+	auditor atomic.Pointer[audit.Journal]
+
 	mu         sync.RWMutex
 	sid        string
 	brokerCred *cred.Credential
@@ -104,6 +112,28 @@ func NewSecureClient(cl *client.Client, trust *cred.TrustStore, opts ...Option) 
 	s.vcache = xdsig.NewVerifyCache(trust, s.verifyCacheSize)
 	cl.SetEnvelopeHandler(s.handleEnvelope)
 	return s, nil
+}
+
+// SetAuditor attaches a tamper-evident audit journal: every client-side
+// security refusal that raises a SecurityAlert also lands in the
+// journal as an open-fail record, and the alert payload carries the
+// record's sequence number under "audit" so an alert, its audit record
+// and its trace waterfall cross-reference each other.
+func (s *SecureClient) SetAuditor(j *audit.Journal) {
+	if j != nil {
+		s.auditor.Store(j)
+	}
+}
+
+// alertAudit appends one security refusal to the attached audit journal
+// (nil-safe) and builds the SecurityAlert payload, stamping the audit
+// sequence number when a record was written.
+func (s *SecureClient) alertAudit(peer keys.PeerID, op, reason string, tid uint64) map[string]string {
+	payload := map[string]string{"reason": reason}
+	if seq := s.auditor.Load().Record(audit.Event{Kind: audit.KindOpenFail, Peer: string(peer), Op: op, Reason: reason, Trace: tid}); seq != 0 {
+		payload["audit"] = strconv.FormatUint(seq, 10)
+	}
+	return payload
 }
 
 // VerifyCache exposes the client's advertisement verification cache for
@@ -428,17 +458,15 @@ func (s *SecureClient) verifiedPeerKey(ctx context.Context, peer keys.PeerID, gr
 	}
 	res, err := s.vcache.VerifyTrusted(rawDoc, time.Now())
 	if err != nil {
-		s.Bus().Emit(events.Event{Type: events.SecurityAlert, From: peer, Group: group, Payload: map[string]string{
-			"reason": "pipe advertisement failed verification: " + err.Error(),
-		}})
+		s.Bus().Emit(events.Event{Type: events.SecurityAlert, From: peer, Group: group,
+			Payload: s.alertAudit(peer, "lookupPipe", "pipe advertisement failed verification: "+err.Error(), 0)})
 		return nil, nil, fmt.Errorf("%w: %v", ErrPeerAdvInvalid, err)
 	}
 	// LookupPipe already parsed the advertisement; the ownership check
 	// reuses that parse (the same single-parse discipline as the broker).
 	if err := CheckParsedAdvOwnership(pipeAdv, res.Signer.Subject); err != nil || res.Signer.Subject != peer {
-		s.Bus().Emit(events.Event{Type: events.SecurityAlert, From: peer, Group: group, Payload: map[string]string{
-			"reason": "pipe advertisement signer does not own the advertisement",
-		}})
+		s.Bus().Emit(events.Event{Type: events.SecurityAlert, From: peer, Group: group,
+			Payload: s.alertAudit(peer, "lookupPipe", "pipe advertisement signer does not own the advertisement", 0)})
 		return nil, nil, ErrPeerAdvInvalid
 	}
 	return res.Signer.Key, pipeAdv, nil
@@ -468,7 +496,9 @@ func (s *SecureClient) handleEnvelope(group string, d pipes.Delivery) bool {
 		spOpen = trace.Begin(tid, trace.StageOpen)
 	}
 	alert := func(from keys.PeerID, reason string) {
-		payload := map[string]string{"reason": reason}
+		// Audit before emitting so the alert payload can carry the audit
+		// record's sequence number alongside the trace ID.
+		payload := s.alertAudit(from, "open", reason, tid)
 		if tid != 0 {
 			payload["trace"] = trace.FormatID(tid)
 			tr.End(spOpen, trace.OutcomeAlert)

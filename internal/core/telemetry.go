@@ -1,8 +1,11 @@
 package core
 
 import (
+	"runtime"
+
 	"jxtaoverlay/internal/admission"
 	"jxtaoverlay/internal/advert"
+	"jxtaoverlay/internal/audit"
 	"jxtaoverlay/internal/broker"
 	"jxtaoverlay/internal/relay"
 	"jxtaoverlay/internal/telemetry"
@@ -13,11 +16,27 @@ import (
 // telemetry registry as pull collectors: nothing here touches a hot
 // path. Every subsystem already keeps its own cheap atomics (or derives
 // the number on demand), and the closures registered below read them
-// only when a snapshot is taken. Any of bs, rly and adm may be nil —
-// the matching metric families are simply not registered, so a
+// only when a snapshot is taken. Any of bs, rly, adm and aud may be nil
+// — the matching metric families are simply not registered, so a
 // plaintext broker or one without a relay exports exactly what it runs.
-func RegisterBrokerTelemetry(reg *telemetry.Registry, b *broker.Broker, bs *BrokerSecurity, rly *relay.Relay, adm *admission.Limiter) {
+func RegisterBrokerTelemetry(reg *telemetry.Registry, b *broker.Broker, bs *BrokerSecurity, rly *relay.Relay, adm *admission.Limiter, aud *audit.Journal) {
 	u := func(v uint64) float64 { return float64(v) }
+
+	// Go runtime health. ReadMemStats on a snapshot pull is cheap at
+	// scrape cadence (it stops the world for microseconds); the GC pause
+	// total is cumulative so rate() gives pause time per second.
+	reg.GaugeFunc("go_goroutines",
+		"Goroutines currently live in this process.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("go_gomaxprocs",
+		"Scheduler parallelism (GOMAXPROCS).",
+		func() float64 { return float64(runtime.GOMAXPROCS(0)) })
+	reg.GaugeFunc("go_heap_inuse_bytes",
+		"Bytes in in-use heap spans.",
+		func() float64 { var m runtime.MemStats; runtime.ReadMemStats(&m); return float64(m.HeapInuse) })
+	reg.CounterFunc("go_gc_pause_seconds_total",
+		"Cumulative stop-the-world GC pause time.",
+		func() float64 { var m runtime.MemStats; runtime.ReadMemStats(&m); return float64(m.PauseTotalNs) / 1e9 })
 
 	// Broker operation surface.
 	reg.CounterFunc("broker_ops_dispatched_total",
@@ -118,6 +137,25 @@ func RegisterBrokerTelemetry(reg *telemetry.Registry, b *broker.Broker, bs *Brok
 		reg.GaugeFunc("relay_queued",
 			"Slices currently waiting in offline queues.",
 			func() float64 { return float64(rly.QueuedTotal()) })
+	}
+
+	// Audit journal (tamper-evident security event log).
+	if aud != nil {
+		reg.CounterFunc("audit_records_total",
+			"Event records appended to the audit journal.",
+			func() float64 { return u(aud.Stats().Records) })
+		reg.CounterFunc("audit_checkpoints_total",
+			"Signed checkpoints sealed into the audit journal.",
+			func() float64 { return u(aud.Stats().Checkpoints) })
+		reg.CounterFunc("audit_lost_total",
+			"Audit events dropped after a journal write failure.",
+			func() float64 { return u(aud.Stats().Lost) })
+		reg.GaugeFunc("audit_segments",
+			"Segment files the audit journal spans.",
+			func() float64 { return float64(aud.Stats().Segments) })
+		reg.GaugeFunc("audit_seq",
+			"Current audit chain sequence number.",
+			func() float64 { return u(aud.Stats().Seq) })
 	}
 
 	// Admission control.

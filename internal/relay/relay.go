@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"jxtaoverlay/internal/advert"
+	"jxtaoverlay/internal/audit"
 	"jxtaoverlay/internal/events"
 	"jxtaoverlay/internal/keys"
 	"jxtaoverlay/internal/relay/wal"
@@ -110,6 +111,11 @@ type Config struct {
 	// enqueue stage, WAL append and fsync attribution, and queue-wait
 	// dwell time. Untraced items (Item.Trace == 0) cost nothing.
 	Tracer *trace.Recorder
+	// Auditor receives a tamper-evident audit record for every
+	// security-relevant relay decision — quota refusals, overflow drops
+	// and WAL write failures (nil = off). Ordinary deliveries are not
+	// audited: the audit log records refusals and faults, not traffic.
+	Auditor *audit.Journal
 	// Clock overrides the time source (tests).
 	Clock func() time.Time
 }
@@ -271,6 +277,7 @@ func (r *Relay) recover() error {
 			r.expired.Add(1)
 			if aerr := log.AppendAck(rec.Seq, wal.AckExpired); aerr != nil {
 				r.walErrors.Add(1)
+				r.audit(audit.Event{Kind: audit.KindWALError, Peer: string(rec.To), Op: "relay-recover", Reason: aerr.Error()})
 			}
 			continue
 		}
@@ -281,8 +288,10 @@ func (r *Relay) recover() error {
 		}
 		if !r.reserveQuota(it) {
 			r.droppedQuota.Add(1)
+			r.audit(audit.Event{Kind: audit.KindRelayDrop, Peer: string(it.From), Op: "relay-recover", Reason: "quota"})
 			if aerr := log.AppendAck(rec.Seq, wal.AckDropped); aerr != nil {
 				r.walErrors.Add(1)
+				r.audit(audit.Event{Kind: audit.KindWALError, Peer: string(rec.To), Op: "relay-recover", Reason: aerr.Error()})
 			}
 			continue
 		}
@@ -367,6 +376,7 @@ func (r *Relay) Submit(it Item) SubmitResult {
 	}
 	if !r.reserveQuota(it) {
 		r.droppedQuota.Add(1)
+		r.audit(audit.Event{Kind: audit.KindRelayDrop, Peer: string(it.From), Op: "relay-submit", Reason: "quota", Trace: it.Trace})
 		if traced {
 			// Anomalous: force-captured even when the trace is unsampled,
 			// so the sender's quota refusal is always attributable.
@@ -391,6 +401,7 @@ func (r *Relay) Submit(it Item) SubmitResult {
 			// from memory — a degraded relay beats a dead one — but
 			// count it: operators alert on WALErrors.
 			r.walErrors.Add(1)
+			r.audit(audit.Event{Kind: audit.KindWALError, Peer: string(it.From), Op: "relay-append", Reason: err.Error(), Trace: it.Trace})
 			if traced {
 				r.cfg.Tracer.End(spWAL, trace.OutcomeWALError)
 			}
@@ -673,6 +684,7 @@ func (s *shard) enqueue(it Item) {
 		drop := len(q) - s.r.cfg.QueueCap + 1
 		for _, old := range q[:drop] {
 			s.r.retire(old, wal.AckDropped)
+			s.r.audit(audit.Event{Kind: audit.KindRelayDrop, Peer: string(old.From), Op: "relay-enqueue", Reason: "overflow", Trace: old.Trace})
 		}
 		q = append(q[:0], q[drop:]...)
 		s.r.droppedOverflow.Add(uint64(drop))
@@ -690,9 +702,15 @@ func (r *Relay) retire(it Item, reason wal.AckReason) {
 	if r.log != nil && it.seq != 0 {
 		if err := r.log.AppendAck(it.seq, reason); err != nil {
 			r.walErrors.Add(1)
+			r.audit(audit.Event{Kind: audit.KindWALError, Peer: string(it.To), Op: "relay-ack", Reason: err.Error(), Trace: it.Trace})
 		}
 	}
 }
+
+// audit appends one record to the configured audit journal. Safe on a
+// nil journal (Record is nil-receiver tolerant), so call sites stay
+// unconditional.
+func (r *Relay) audit(e audit.Event) { r.cfg.Auditor.Record(e) }
 
 // pruneLocked removes expired items wherever they sit in the peer's
 // queue (items submitted with caller-set TTLs need not expire in FIFO

@@ -17,10 +17,12 @@ import (
 	"time"
 
 	"jxtaoverlay/internal/admission"
+	"jxtaoverlay/internal/audit"
 	"jxtaoverlay/internal/bench"
 	"jxtaoverlay/internal/broker"
 	"jxtaoverlay/internal/client"
 	"jxtaoverlay/internal/core"
+	"jxtaoverlay/internal/cred"
 	"jxtaoverlay/internal/events"
 	"jxtaoverlay/internal/keys"
 	"jxtaoverlay/internal/membership"
@@ -57,6 +59,18 @@ type Options struct {
 	// deployment: clients, broker dispatch, relay queues. Serve its
 	// DebugHandler (or run `admin trace`) to inspect the waterfalls.
 	Tracer *trace.Recorder
+	// AuditDir, when set, opens a tamper-evident audit journal there
+	// and attaches it to the whole deployment (broker, relay, every
+	// client). The directory survives the run so `admin audit verify`
+	// can walk the chain afterwards — CI does exactly that. Small
+	// segments and a low checkpoint interval are deliberate: a scenario
+	// run should exercise rotation and sealing, not just appends.
+	AuditDir string
+	// OnAudit, if set, receives the journal opened for AuditDir before
+	// any traffic runs. The scenario driver uses it to point an
+	// already-serving /debug/audit route at the live journal (the
+	// telemetry mux is built before the scenario stack exists).
+	OnAudit func(*audit.Journal)
 	// Timeout bounds the whole run (0 = 2 minutes).
 	Timeout time.Duration
 }
@@ -93,6 +107,9 @@ type Summary struct {
 	HostileRejected int64 `json:"hostile_rejected"`
 	// Alerts counts SecurityAlert events on the broker's bus.
 	Alerts int64 `json:"alerts"`
+	// AuditRecords counts event records appended to the audit journal
+	// (0 when the run had no AuditDir).
+	AuditRecords int64 `json:"audit_records"`
 	// Anomalies is the gate: human-readable descriptions of everything
 	// that deviated from the scenario's contract. Empty means pass.
 	Anomalies []string `json:"anomalies"`
@@ -157,6 +174,7 @@ type stack struct {
 	db  *userdb.Store
 	reg *telemetry.Registry
 	tr  *trace.Recorder
+	aud *audit.Journal
 
 	alerts atomic.Int64
 
@@ -198,6 +216,28 @@ func newStack(nClients int, profile simnet.LinkProfile, admCfg *admission.Config
 	if err != nil {
 		return nil, err
 	}
+	if opt.AuditDir != "" {
+		// Opened (and its closer appended) before the broker so it
+		// closes after broker and relay — their shutdown still emits
+		// presence and drop records. Small segments + frequent
+		// checkpoints make a normal run exercise rotation and sealing.
+		aud, aerr := audit.Open(audit.Options{
+			Dir:             opt.AuditDir,
+			SyncInterval:    2 * time.Millisecond,
+			SegmentBytes:    8 << 10,
+			CheckpointEvery: 32,
+			Signer:          brKP,
+			Chain:           []*cred.Credential{brCred},
+		})
+		if aerr != nil {
+			return nil, aerr
+		}
+		s.aud = aud
+		s.closers = append(s.closers, func() { _ = aud.Close() })
+		if opt.OnAudit != nil {
+			opt.OnAudit(aud)
+		}
+	}
 	br, err := broker.New(broker.Config{
 		Name: "scn-broker", PeerID: brCred.Subject, Net: s.net,
 		DB: broker.AuthenticatorFunc(func(_ context.Context, u, p string) ([]string, error) {
@@ -217,9 +257,11 @@ func newStack(nClients int, profile simnet.LinkProfile, admCfg *admission.Config
 		return nil, err
 	}
 	s.bs = bs
-	// The broker's recorder is installed before the relay attaches so
-	// EnableBrokerRelay inherits it for the queue-side stages.
+	// The broker's recorder (and audit journal) are installed before
+	// the relay attaches so EnableBrokerRelay inherits them for the
+	// queue-side stages and drop records.
 	br.SetTracer(opt.Tracer)
+	br.SetAuditor(s.aud)
 	rly, err := core.EnableBrokerRelay(br, relayCfg)
 	if err != nil {
 		return nil, err
@@ -232,7 +274,7 @@ func newStack(nClients int, profile simnet.LinkProfile, admCfg *admission.Config
 	}
 	br.Bus().Subscribe(events.SecurityAlert, func(events.Event) { s.alerts.Add(1) })
 	if reg != nil {
-		core.RegisterBrokerTelemetry(reg, br, bs, rly, s.adm)
+		core.RegisterBrokerTelemetry(reg, br, bs, rly, s.adm, s.aud)
 	}
 	ok = true
 	return s, nil
@@ -276,6 +318,7 @@ func (s *stack) join(ctx context.Context, i int, rec *recorder) (*core.SecureCli
 	// registration) and the deployment's span recorder.
 	cl.BindTelemetry(s.reg)
 	cl.SetTracer(s.tr)
+	sc.SetAuditor(s.aud)
 	if err := sc.SecureConnection(ctx, s.br.PeerID()); err != nil {
 		return nil, fmt.Errorf("%s secureConnection: %w", user(i), err)
 	}

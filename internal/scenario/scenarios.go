@@ -401,4 +401,7 @@ func finish(sum *Summary, s *stack) {
 	if sum.Alerts > 0 {
 		sum.anomaly("%d security alerts raised", sum.Alerts)
 	}
+	if s.aud != nil {
+		sum.AuditRecords = int64(s.aud.Stats().Records)
+	}
 }

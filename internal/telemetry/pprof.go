@@ -1,0 +1,38 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+)
+
+// EnablePprof mounts the Go runtime profiler on the registry's HTTP
+// surface, riding the same server as /metrics (and /debug/traces,
+// /debug/audit when those are mounted):
+//
+//	/debug/pprof/           index
+//	/debug/pprof/cmdline    process arguments
+//	/debug/pprof/profile    CPU profile (?seconds=N)
+//	/debug/pprof/symbol     address→symbol resolution
+//	/debug/pprof/trace      execution trace (?seconds=N)
+//
+// plus the named profiles the index links (heap, goroutine, block,
+// mutex, threadcreate, allocs) via the index handler's path dispatch.
+//
+// Contention profiling is opt-in because it taxes every lock operation
+// process-wide: with contention=true the mutex profile samples 1 in 5
+// contended lock events and the block profile samples blocking events
+// lasting ≳100µs. Like Handle, call before Handler/Serve.
+func (r *Registry) EnablePprof(contention bool) {
+	if contention {
+		runtime.SetMutexProfileFraction(5)
+		runtime.SetBlockProfileRate(100_000) // report blocking ≥100µs
+	}
+	// The index handler serves every /debug/pprof/<name> profile; the
+	// four specials below are separate handlers in net/http/pprof.
+	r.Handle("/debug/pprof/", http.HandlerFunc(pprof.Index))
+	r.Handle("/debug/pprof/cmdline", http.HandlerFunc(pprof.Cmdline))
+	r.Handle("/debug/pprof/profile", http.HandlerFunc(pprof.Profile))
+	r.Handle("/debug/pprof/symbol", http.HandlerFunc(pprof.Symbol))
+	r.Handle("/debug/pprof/trace", http.HandlerFunc(pprof.Trace))
+}

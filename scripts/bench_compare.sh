@@ -69,7 +69,7 @@ if [ -z "$current" ]; then
     current=$(mktemp --suffix=.json)
     trap 'rm -f "$current"' EXIT
     echo "bench_compare: running gated benchmarks (baseline: $baseline)"
-    BENCH="${BENCH:-BenchmarkVerifyTrusted|BenchmarkFanOutSecure|BenchmarkSignedAdvertisement|BenchmarkParseCold|BenchmarkOpenSlice|BenchmarkRelayDelivery|BenchmarkRelayDrainDurable|BenchmarkTelemetryOverhead|BenchmarkTraceOverhead}" \
+    BENCH="${BENCH:-BenchmarkVerifyTrusted|BenchmarkFanOutSecure|BenchmarkSignedAdvertisement|BenchmarkParseCold|BenchmarkOpenSlice|BenchmarkRelayDelivery|BenchmarkRelayDrainDurable|BenchmarkTelemetryOverhead|BenchmarkTraceOverhead|BenchmarkAuditOverhead}" \
         BENCHTIME="${BENCHTIME:-1s}" BENCH_OUT="$current" ./scripts/bench.sh >/dev/null
 fi
 [ -r "$current" ] || { echo "bench_compare: unreadable current $current" >&2; exit 2; }
@@ -226,6 +226,19 @@ gate_ceiling_ns() {
     }' || fail=1
 }
 gate_ceiling_ns "BenchmarkTraceOverhead/read" "$trace_read_max" "Trace ring snapshot (4096 spans)"
+
+# Audit journal ceilings: Record on the staged path is what every
+# offense, refusal and auth outcome pays inline — one encode into a
+# reused stage buffer, one SHA-256 to advance the chain head, one ring
+# slot. Held to an absolute ceiling and exactly zero steady-state
+# allocations, same regime as the telemetry instruments: attribution
+# must not cost GC pressure. The fdatasync-per-append policy is the
+# disk's price, not the encoder's — wall-clock ceiling only, sized for
+# a slow fsync.
+audit_append_max="${BENCH_AUDIT_APPEND_MAX_NS:-5000}"
+audit_synced_max="${BENCH_AUDIT_SYNCED_MAX_NS:-20000000}"
+gate_ceiling "BenchmarkAuditOverhead/append" "$audit_append_max" "Audit append (staged)"
+gate_ceiling_ns "BenchmarkAuditOverhead/synced" "$audit_synced_max" "Audit append (fsync per record)"
 
 # Persistence-tax ratio: durable drain vs in-memory drain, both from the
 # CURRENT snapshot (same machine, same run), so this bound is absolute
