@@ -112,6 +112,13 @@ func New(cfg Config) *Limiter {
 	return &Limiter{cfg: cfg, buckets: make(map[string]*bucket)}
 }
 
+// RetryAfter reports how long an empty bucket takes to refill one
+// token: the soonest a refused credential could be admitted again.
+// The broker attaches it to rate-limited refusals as a backoff hint.
+func (l *Limiter) RetryAfter() time.Duration {
+	return time.Duration(float64(time.Second) / l.cfg.Rate)
+}
+
 // Allow spends one token from the credential's bucket. Refusals count
 // as offenses; a success resets the offense streak (the credential
 // backed off and recovered).

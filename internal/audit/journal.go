@@ -67,6 +67,12 @@ const (
 	// federated.
 	KindPeerUp   = "peer-up"
 	KindPeerDown = "peer-down"
+	// KindHeartbeat: a presence-lease heartbeat outcome (reason "ok"
+	// or the refusal token — a replayed or stale heartbeat lands here).
+	KindHeartbeat = "heartbeat"
+	// KindIdemDedup: a retried mutating op was answered from the
+	// idempotency dedup window instead of re-executing.
+	KindIdemDedup = "idem-dedup"
 )
 
 // Event is one security event to be journaled. Strings beyond the

@@ -123,6 +123,9 @@ type Broker struct {
 	// tracer.
 	auditor atomic.Pointer[audit.Journal]
 
+	// Idempotency dedup window for retried mutating ops (see idem.go).
+	idem idemCache
+
 	// Operation counters (see Stats). Plain atomics on the dispatch
 	// path; the telemetry layer reads them through pull collectors.
 	opsDispatched    atomic.Uint64
@@ -131,6 +134,7 @@ type Broker struct {
 	advsPublished    atomic.Uint64
 	fedAdvsAccepted  atomic.Uint64
 	fedStalePresence atomic.Uint64
+	idemDeduped      atomic.Uint64
 }
 
 // Stats is a snapshot of the broker's operation counters.
@@ -150,6 +154,9 @@ type Stats struct {
 	// FedStalePresence counts federation presence updates discarded by
 	// the monotonic session guard.
 	FedStalePresence uint64
+	// IdemDeduped counts mutating-op retries answered from the
+	// idempotency dedup window instead of re-executing the handler.
+	IdemDeduped uint64
 	// PeersOnline / PeersKnown are the live and total session records.
 	PeersOnline int
 	PeersKnown  int
@@ -173,6 +180,7 @@ func (b *Broker) Stats() Stats {
 		AdvsPublished:    b.advsPublished.Load(),
 		FedAdvsAccepted:  b.fedAdvsAccepted.Load(),
 		FedStalePresence: b.fedStalePresence.Load(),
+		IdemDeduped:      b.idemDeduped.Load(),
 		PeersOnline:      online,
 		PeersKnown:       known,
 	}
@@ -394,16 +402,38 @@ func (b *Broker) dispatch(from keys.PeerID, msg *endpoint.Message) *endpoint.Mes
 			if d.Alert {
 				b.emitAdmissionAlert(from, op, proto.ErrRateLimited, d.Offenses, tid)
 			}
-			return proto.Fail(proto.ErrRateLimited)
+			// The refusal carries a backoff hint: one token's refill
+			// time. Resilient clients floor their retry delay on it so
+			// a fleet of retries doesn't hammer an exhausted bucket.
+			return proto.Fail(proto.ErrRateLimited).
+				AddString(proto.ElemRetryAfter, strconv.FormatInt(adm.RetryAfter().Milliseconds(), 10))
 		}
 	}
 	if tid != 0 {
 		b.tracer.Load().End(sp, trace.OutcomeOK)
 	}
+	// Idempotency dedup: a retried mutating op presenting a key the
+	// window already acknowledged gets the original response back —
+	// the mutation is not executed twice. Checked after admission
+	// (dedup hits are cheap, but a flooder must not bypass its bucket
+	// by replaying one key) and only for logged-in peers' keys (the
+	// table is per-peer, so strangers can't seed it).
+	idemK, hasIdem := msg.GetString(proto.ElemIdem)
+	if hasIdem && idemK != "" {
+		if cached, ok := b.idem.lookup(from, idemK); ok {
+			b.idemDeduped.Add(1)
+			b.Audit(audit.Event{Kind: audit.KindIdemDedup, Peer: string(from), Op: op, Reason: "replayed-key", Trace: tid})
+			return cached
+		}
+	}
 	resp := h(from, msg)
 	if resp != nil {
 		if ok, _ := proto.IsOK(resp); !ok {
 			b.opsFailed.Add(1)
+		} else if hasIdem && idemK != "" {
+			// Only acknowledged successes are cached: a refused op
+			// performed no mutation, so its retry must re-execute.
+			b.idem.store(from, idemK, resp)
 		}
 	}
 	return resp
@@ -515,7 +545,36 @@ func (b *Broker) UnregisterPeer(id keys.PeerID) {
 }
 
 func (b *Broker) unregisterPeer(id keys.PeerID, announce bool) {
-	b.unregisterPeerAt(id, announce, time.Now())
+	b.unregisterPeerAt(id, announce, time.Now(), "")
+}
+
+// ExpirePeer takes an online peer's presence down for a liveness
+// reason ("lease-expired"): the security extension's lease sweeper
+// calls it when a session misses its heartbeats. session is the start
+// time of the session whose lease lapsed — the monotonic presence
+// guard then discards an expiry racing a re-login (the new session's
+// ConnectedAt is later, so the stale expiry must not take it down).
+// The peer-down audit record carries the reason, distinguishing an
+// expiry from a clean logout. Reports whether presence was taken down.
+func (b *Broker) ExpirePeer(id keys.PeerID, reason string, session time.Time) bool {
+	b.mu.RLock()
+	p, ok := b.peers[id]
+	online := ok && p.Online && !p.ConnectedAt.After(session)
+	b.mu.RUnlock()
+	if !online {
+		return false
+	}
+	b.unregisterPeerAt(id, true, session, reason)
+	return true
+}
+
+// TouchPeer refreshes a peer's LastSeen (heartbeat bookkeeping).
+func (b *Broker) TouchPeer(id keys.PeerID) {
+	b.mu.Lock()
+	if p, ok := b.peers[id]; ok {
+		p.LastSeen = time.Now()
+	}
+	b.mu.Unlock()
 }
 
 // unregisterPeerAt ends the session that was live at the given time.
@@ -523,7 +582,9 @@ func (b *Broker) unregisterPeer(id keys.PeerID, announce bool) {
 // after the peer already re-registered (delivery is unordered) refers
 // to a session that no longer exists and must not take the new one
 // offline. Local logouts always pass (their session predates now).
-func (b *Broker) unregisterPeerAt(id keys.PeerID, announce bool, session time.Time) {
+// reason overrides the audit record's provenance label when non-empty
+// (lease expiries audit as "lease-expired", not "local").
+func (b *Broker) unregisterPeerAt(id keys.PeerID, announce bool, session time.Time, reason string) {
 	b.mu.Lock()
 	info, ok := b.peers[id]
 	if ok && info.ConnectedAt.After(session) {
@@ -532,18 +593,26 @@ func (b *Broker) unregisterPeerAt(id keys.PeerID, announce bool, session time.Ti
 	}
 	var local bool
 	var sessionAt time.Time
+	var groups []string
+	var username string
+	var origin keys.PeerID
 	if ok {
 		info.Online = false
 		local = info.Origin == ""
 		sessionAt = info.ConnectedAt
+		// Copy what the rest of the teardown needs while still holding
+		// the lock: Groups is mutated in place by join/leave, and the
+		// lease sweeper runs this teardown concurrently with dispatch.
+		groups = append(groups, info.Groups...)
+		username, origin = info.Username, info.Origin
 	}
 	b.mu.Unlock()
 	if !ok {
 		return
 	}
 	reg := b.groups
-	for _, g := range info.Groups {
-		b.pushPresence(id, info.Username, g, advert.StatusOffline)
+	for _, g := range groups {
+		b.pushPresence(id, username, g, advert.StatusOffline)
 	}
 	reg.LeaveAll(id)
 	if announce && local {
@@ -552,8 +621,11 @@ func (b *Broker) unregisterPeerAt(id keys.PeerID, announce bool, session time.Ti
 			AddString(proto.ElemPeer, string(id)).
 			AddString(proto.ElemFedSession, strconv.FormatInt(sessionAt.UnixNano(), 10)))
 	}
-	b.Audit(audit.Event{Kind: audit.KindPeerDown, Peer: string(id), Op: "presence", Reason: presenceOrigin(info.Origin)})
-	b.ctl.Emit(events.PresenceUpdate, id, "", map[string]string{"user": info.Username, "status": advert.StatusOffline}, nil)
+	if reason == "" {
+		reason = presenceOrigin(origin)
+	}
+	b.Audit(audit.Event{Kind: audit.KindPeerDown, Peer: string(id), Op: "presence", Reason: reason})
+	b.ctl.Emit(events.PresenceUpdate, id, "", map[string]string{"user": username, "status": advert.StatusOffline}, nil)
 }
 
 // presenceOrigin labels a presence audit record's provenance.

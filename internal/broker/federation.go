@@ -142,7 +142,7 @@ func (b *Broker) handleFedPeerDown(from keys.PeerID, msg *endpoint.Message) *end
 		return nil
 	}
 	peer, _ := msg.GetString(proto.ElemPeer)
-	b.unregisterPeerAt(keys.PeerID(peer), false, fedSession(msg))
+	b.unregisterPeerAt(keys.PeerID(peer), false, fedSession(msg), "")
 	return nil
 }
 

@@ -1,0 +1,162 @@
+package broker
+
+// Idempotency dedup window. A resilient client that retries a mutating
+// operation after an ambiguous timeout (request sent, response never
+// seen) cannot know whether the broker executed it. When the retry
+// carries the same client-minted idempotency key (proto.ElemIdem), the
+// broker answers from a (peer, key) → response table instead of
+// executing the handler again — at-most-once for acknowledged
+// mutations, the same promise the recipient-side ReplayGuard makes for
+// message opens, enforced one layer earlier so the mutation itself
+// (a relay enqueue, a group create) is not repeated.
+//
+// The table is bounded exactly like core.ReplayGuard: entries expire a
+// window after caching, an amortized sweep (every window/4, or
+// whenever the table is full) prunes them, and overflow evicts the
+// entry closest to expiry. Only successful responses are cached — a
+// refused operation performed no mutation, so retrying it must
+// re-execute, and transient refusals (rate-limited, quota) must not be
+// pinned for the window.
+
+import (
+	"sync"
+	"time"
+
+	"jxtaoverlay/internal/endpoint"
+	"jxtaoverlay/internal/keys"
+)
+
+const (
+	// idemWindow bounds how long an acknowledged response is replayable.
+	// It must comfortably exceed the longest retry schedule a client
+	// runs (backoff cap ~5s, a handful of attempts) — 2 minutes matches
+	// the ReplayGuard freshness window.
+	idemWindow = 2 * time.Minute
+	// idemMaxEntries bounds table memory; at the default window this
+	// admits ~34 acknowledged mutations/sec before eviction pressure.
+	idemMaxEntries = 4096
+)
+
+type idemEntry struct {
+	resp   *endpoint.Message
+	expiry time.Time
+}
+
+// idemCache is the broker's dedup table, keyed peer-first so the
+// lookup — which runs on EVERY mutating dispatch carrying a key, hits
+// and misses alike — indexes two maps instead of concatenating a
+// scoped string key (zero allocations, bench-gated). The per-peer
+// outer level is also the isolation boundary: peers cannot collide
+// with (or probe) each other's cached responses. The zero value is
+// ready to use (lazily initialized under its own mutex, off the
+// read-mostly broker lock).
+type idemCache struct {
+	mu        sync.Mutex
+	seen      map[keys.PeerID]map[string]idemEntry
+	count     int
+	nextSweep time.Time
+	clock     func() time.Time
+}
+
+func (c *idemCache) now() time.Time {
+	if c.clock != nil {
+		return c.clock()
+	}
+	return time.Now()
+}
+
+// lookup returns the cached response for a live (peer, key) entry.
+func (c *idemCache) lookup(from keys.PeerID, key string) (*endpoint.Message, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.seen[from][key]
+	if !ok || c.now().After(e.expiry) {
+		return nil, false
+	}
+	return e.resp, true
+}
+
+// store caches a response under (peer, key), sweeping amortizedly and
+// evicting the soonest-to-expire entry on overflow.
+func (c *idemCache) store(from keys.PeerID, key string, resp *endpoint.Message) {
+	now := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.seen == nil {
+		c.seen = make(map[keys.PeerID]map[string]idemEntry)
+	}
+	if !now.Before(c.nextSweep) || c.count >= idemMaxEntries {
+		c.sweepLocked(now)
+		c.nextSweep = now.Add(idemWindow / 4)
+	}
+	if c.count >= idemMaxEntries {
+		var oldFrom keys.PeerID
+		var oldKey string
+		var soonest time.Time
+		first := true
+		for f, inner := range c.seen {
+			for k, e := range inner {
+				if first || e.expiry.Before(soonest) {
+					oldFrom, oldKey, soonest = f, k, e.expiry
+					first = false
+				}
+			}
+		}
+		if !first {
+			c.deleteLocked(oldFrom, oldKey)
+		}
+	}
+	inner := c.seen[from]
+	if inner == nil {
+		inner = make(map[string]idemEntry)
+		c.seen[from] = inner
+	}
+	if _, exists := inner[key]; !exists {
+		c.count++
+	}
+	inner[key] = idemEntry{resp: resp, expiry: now.Add(idemWindow)}
+}
+
+// sweepLocked prunes expired entries and empty per-peer tables.
+func (c *idemCache) sweepLocked(now time.Time) {
+	for f, inner := range c.seen {
+		for k, e := range inner {
+			if now.After(e.expiry) {
+				delete(inner, k)
+				c.count--
+			}
+		}
+		if len(inner) == 0 {
+			delete(c.seen, f)
+		}
+	}
+}
+
+// deleteLocked removes one entry, dropping its peer table when empty.
+func (c *idemCache) deleteLocked(from keys.PeerID, key string) {
+	inner := c.seen[from]
+	if _, ok := inner[key]; ok {
+		delete(inner, key)
+		c.count--
+		if len(inner) == 0 {
+			delete(c.seen, from)
+		}
+	}
+}
+
+// entries reports the live table size (telemetry gauge).
+func (c *idemCache) entries() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.count
+}
+
+// SetIdemClock overrides the dedup window's time source (tests).
+func (b *Broker) SetIdemClock(now func() time.Time) {
+	b.idem.mu.Lock()
+	b.idem.clock = now
+	b.idem.mu.Unlock()
+}
+
+// IdemEntries reports the idempotency dedup window's live entry count.
+func (b *Broker) IdemEntries() int { return b.idem.entries() }

@@ -1,0 +1,46 @@
+package broker
+
+import (
+	"fmt"
+	"testing"
+
+	"jxtaoverlay/internal/endpoint"
+	"jxtaoverlay/internal/keys"
+)
+
+// BenchmarkIdemOverhead prices the idempotency dedup window at its two
+// operating points. "hit" is the retry fast path — a resubmitted
+// mutation answered from the table instead of re-executed — held to an
+// absolute nanosecond ceiling and exactly zero allocations in
+// bench_compare.sh (the peer-first two-level table exists so this
+// lookup never builds a scoped key string). "store" caches one
+// acknowledged response; it allocates by design (a map insert) and is
+// held to a wall-clock ceiling only, measured at steady state inside a
+// bounded key set so amortized sweeps, not evictions, set the price.
+func BenchmarkIdemOverhead(b *testing.B) {
+	peer := keys.PeerID("urn:jxta:bench-peer")
+	resp := endpoint.NewMessage()
+	b.Run("hit", func(b *testing.B) {
+		var c idemCache
+		c.store(peer, "ik-bench", resp)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok := c.lookup(peer, "ik-bench"); !ok {
+				b.Fatal("cached response missing")
+			}
+		}
+	})
+	b.Run("store", func(b *testing.B) {
+		var c idemCache
+		ks := make([]string, 1024)
+		for i := range ks {
+			ks[i] = fmt.Sprintf("ik-bench-%04d", i)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.store(peer, ks[i%len(ks)], resp)
+		}
+	})
+}

@@ -22,8 +22,11 @@ import (
 func (b *Broker) PeerOnline(id keys.PeerID) bool {
 	b.mu.RLock()
 	p, ok := b.peers[id]
+	// The PeerInfo fields must be read under the lock: the lease
+	// sweeper flips Online concurrently with relay drains asking.
+	online := ok && p.Online && p.Local()
 	b.mu.RUnlock()
-	return ok && p.Online && p.Local() && b.ep.Reachable(id)
+	return online && b.ep.Reachable(id)
 }
 
 // PeerResident reports whether a peer's presence is owned by THIS
@@ -59,11 +62,13 @@ func (b *Broker) PeerOrigin(id keys.PeerID) keys.PeerID {
 // traffic) is open to every known peer, mirroring memberOf.
 func (b *Broker) KnownMember(id keys.PeerID, group string) bool {
 	b.mu.RLock()
+	defer b.mu.RUnlock()
 	p, ok := b.peers[id]
-	b.mu.RUnlock()
 	if !ok {
 		return false
 	}
+	// Groups is mutated in place by join/leave, so it must be read
+	// while still holding the lock.
 	return group == "" || contains(p.Groups, group)
 }
 

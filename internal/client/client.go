@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -52,6 +53,24 @@ var (
 	// must back off before retrying. Other credentials are unaffected.
 	ErrRateLimited = fmt.Errorf("%w: rate limited by broker admission control", ErrBrokerOp)
 )
+
+// OpError is a broker refusal carrying its wire error token. It wraps
+// ErrBrokerOp (errors.Is keeps working) while letting resilience
+// layers classify the refusal — auth tokens are terminal, liveness
+// tokens trigger a session resume — without string matching.
+type OpError struct {
+	// Token is the stable wire error token (proto.Err*).
+	Token string
+	// RetryAfter is the broker's backoff hint, when the refusal
+	// carried one (0 = none).
+	RetryAfter time.Duration
+}
+
+// Error formats exactly like the pre-typed "%w: %s" wrapping did.
+func (e *OpError) Error() string { return ErrBrokerOp.Error() + ": " + e.Token }
+
+// Unwrap links the refusal to ErrBrokerOp.
+func (e *OpError) Unwrap() error { return ErrBrokerOp }
 
 // PeerSummary is one row of a getOnlinePeers result.
 type PeerSummary struct {
@@ -239,12 +258,36 @@ func (c *Client) call(ctx context.Context, br keys.PeerID, msg *endpoint.Message
 		case proto.ErrRelayQuota:
 			return resp, ErrRelayQuota
 		case proto.ErrRateLimited:
-			return resp, ErrRateLimited
+			return resp, rateLimitedError(resp)
 		}
-		return resp, fmt.Errorf("%w: %s", ErrBrokerOp, errToken)
+		return resp, &OpError{Token: errToken}
 	}
 	return resp, nil
 }
+
+// rateLimitedError preserves the ErrRateLimited sentinel while
+// attaching the broker's retry-after hint when the refusal carried
+// one, so backoff layers can floor their delay on it.
+func rateLimitedError(resp *endpoint.Message) error {
+	if ms, ok := resp.GetString(proto.ElemRetryAfter); ok {
+		if v, err := strconv.ParseInt(ms, 10, 64); err == nil && v > 0 {
+			return &RateLimitedError{RetryAfter: time.Duration(v) * time.Millisecond}
+		}
+	}
+	return ErrRateLimited
+}
+
+// RateLimitedError is an admission refusal with a broker backoff hint.
+// It wraps ErrRateLimited (and transitively ErrBrokerOp).
+type RateLimitedError struct {
+	RetryAfter time.Duration
+}
+
+// Error matches the sentinel's message.
+func (e *RateLimitedError) Error() string { return ErrRateLimited.Error() }
+
+// Unwrap links the refusal to the ErrRateLimited sentinel.
+func (e *RateLimitedError) Unwrap() error { return ErrRateLimited }
 
 // --- discovery primitives ---
 

@@ -5,7 +5,9 @@ import (
 	"encoding/base64"
 	"encoding/hex"
 	"errors"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"jxtaoverlay/internal/advert"
@@ -39,6 +41,14 @@ type BrokerConfig struct {
 	// VerifyCacheSize bounds the broker's signed-advertisement
 	// verification cache (0 = xdsig.DefaultVerifyCacheSize).
 	VerifyCacheSize int
+	// LeaseTTL enables presence leases: secureLogin grants a lease of
+	// this duration, the signed heartbeat op renews it, and a session
+	// that misses its heartbeats long enough for the lease to lapse is
+	// taken offline (audited peer-down "lease-expired", relay flips to
+	// queueing). 0 disables leases — presence then never expires, the
+	// pre-liveness behaviour. Deployments that set it must Close() the
+	// BrokerSecurity to stop the expiry sweeper.
+	LeaseTTL time.Duration
 }
 
 // BrokerSecurity is the security extension attached to one broker.
@@ -51,9 +61,22 @@ type BrokerSecurity struct {
 	// and federation forward, which the cache turns into a digest lookup.
 	vcache *xdsig.VerifyCache
 
-	mu    sync.Mutex
-	sids  map[string]time.Time
-	clock func() time.Time
+	mu     sync.Mutex
+	sids   map[string]time.Time
+	leases map[keys.PeerID]*lease
+	clock  func() time.Time
+
+	// Liveness counters (see LivenessStats). Atomics: the telemetry
+	// pull collectors read them without the mutex.
+	leasesGranted      atomic.Uint64
+	leasesExpired      atomic.Uint64
+	heartbeatsRenewed  atomic.Uint64
+	heartbeatsRejected atomic.Uint64
+
+	// Lease-expiry sweeper lifecycle (running only when LeaseTTL > 0).
+	sweepStop chan struct{}
+	sweepDone chan struct{}
+	closeOnce sync.Once
 }
 
 // EnableBrokerSecurity attaches the secure primitives to a broker:
@@ -80,15 +103,33 @@ func EnableBrokerSecurity(b *broker.Broker, cfg BrokerConfig) (*BrokerSecurity, 
 		b:      b,
 		vcache: xdsig.NewVerifyCache(cfg.Trust, cfg.VerifyCacheSize),
 		sids:   make(map[string]time.Time),
+		leases: make(map[keys.PeerID]*lease),
 		clock:  time.Now,
 	}
 	b.RegisterOp(proto.OpSecureConnect, bs.handleSecureConnect)
 	b.RegisterOp(proto.OpSecureLogin, bs.handleSecureLogin)
 	b.RegisterOp(OpSecureRenew, bs.handleSecureRenew)
+	b.RegisterOp(OpHeartbeat, bs.handleHeartbeat)
 	if cfg.RequireSignedAdvs {
 		b.SetAdvVerifier(bs.verifyAdv)
 	}
+	if cfg.LeaseTTL > 0 {
+		bs.sweepStop = make(chan struct{})
+		bs.sweepDone = make(chan struct{})
+		go bs.sweepLeases()
+	}
 	return bs, nil
+}
+
+// Close stops the lease-expiry sweeper. A no-op when leases are
+// disabled; safe to call more than once.
+func (bs *BrokerSecurity) Close() {
+	bs.closeOnce.Do(func() {
+		if bs.sweepStop != nil {
+			close(bs.sweepStop)
+			<-bs.sweepDone
+		}
+	})
 }
 
 // SetClock overrides the time source (tests).
@@ -258,6 +299,14 @@ func (bs *BrokerSecurity) handleSecureLogin(from keys.PeerID, msg *endpoint.Mess
 	resp := proto.OK().
 		AddString(proto.ElemGroups, joinCSV(groups)).
 		AddXML(proto.ElemCred, credDoc.Canonical())
+	// Liveness: the response carries the presence lease the session
+	// must heartbeat to keep. Granted AFTER RegisterPeer so the lease
+	// records the session's ConnectedAt — the monotonic guard key a
+	// later expiry is checked against.
+	if leaseID, ttl, ok := bs.grantLease(peerID); ok {
+		resp.AddString(proto.ElemLease, leaseID).
+			AddString(proto.ElemLeaseTTL, strconv.FormatInt(ttl.Milliseconds(), 10))
+	}
 	return resp
 }
 

@@ -1,0 +1,34 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"jxtaoverlay/internal/keys"
+)
+
+// BenchmarkLivenessOverhead prices the broker-side bookkeeping every
+// heartbeat pays once its signature is verified: one locked table
+// lookup, the lease/seq checks and the expiry bump. Held to an
+// absolute nanosecond ceiling and exactly zero allocations in
+// bench_compare.sh — a fleet heartbeating at TTL/3 must cost the
+// broker table work, not GC pressure. The RSA verify that guards this
+// path is priced separately (BenchmarkVerifyTrusted).
+func BenchmarkLivenessOverhead(b *testing.B) {
+	b.Run("renew", func(b *testing.B) {
+		bs := &BrokerSecurity{
+			cfg:    BrokerConfig{LeaseTTL: time.Minute},
+			leases: make(map[keys.PeerID]*lease),
+			clock:  time.Now,
+		}
+		peer := keys.PeerID("urn:jxta:bench-peer")
+		bs.leases[peer] = &lease{id: "ls-bench", expiry: time.Now().Add(time.Hour)}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if tok := bs.renewLease(peer, "ls-bench", uint64(i)+1); tok != "" {
+				b.Fatalf("heartbeat refused: %s", tok)
+			}
+		}
+	})
+}

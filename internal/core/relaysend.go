@@ -131,27 +131,41 @@ func (s *SecureClient) SecureMsgPeersViaRelay(ctx context.Context, group, text s
 			}
 			continue
 		}
-		dd, _ := resp.GetString(proto.ElemRelayDirect)
-		qq, _ := resp.GetString(proto.ElemRelayQueued)
-		hh, _ := resp.GetString(proto.ElemRelayHandoff)
-		nn, _ := resp.GetString(proto.ElemRelayQuota)
-		ss, _ := resp.GetString(proto.ElemRelaySkipped)
-		di, _ := strconv.Atoi(dd)
-		qi, _ := strconv.Atoi(qq)
-		hi, _ := strconv.Atoi(hh)
-		ni, _ := strconv.Atoi(nn)
-		si, _ := strconv.Atoi(ss)
+		di, qi, rerr := relayCounts(resp, len(chunk))
 		direct += di
-		// A handed-off slice is in flight toward the partner broker that
-		// owns the recipient — from the sender's seat that is "queued":
-		// accepted for eventual delivery, not confirmed received.
-		queued += qi + hi
-		if ni > 0 && firstErr == nil {
-			firstErr = fmt.Errorf("%w: %d of %d throttled", ErrRelayQuota, ni, len(chunk))
-		}
-		if si > 0 && firstErr == nil {
-			firstErr = fmt.Errorf("%w: %d of %d", ErrRelaySkipped, si, len(chunk))
+		queued += qi
+		if rerr != nil && firstErr == nil {
+			firstErr = rerr
 		}
 	}
 	return direct, queued, firstErr
+}
+
+// relayCounts unpacks a relayRound response: recipients reached
+// directly, recipients accepted for eventual delivery (queued locally
+// or handed off toward the partner broker that owns them), and an
+// error when any were throttled or skipped.
+func relayCounts(resp *endpoint.Message, chunkLen int) (direct, queued int, err error) {
+	dd, _ := resp.GetString(proto.ElemRelayDirect)
+	qq, _ := resp.GetString(proto.ElemRelayQueued)
+	hh, _ := resp.GetString(proto.ElemRelayHandoff)
+	nn, _ := resp.GetString(proto.ElemRelayQuota)
+	ss, _ := resp.GetString(proto.ElemRelaySkipped)
+	di, _ := strconv.Atoi(dd)
+	qi, _ := strconv.Atoi(qq)
+	hi, _ := strconv.Atoi(hh)
+	ni, _ := strconv.Atoi(nn)
+	si, _ := strconv.Atoi(ss)
+	// A handed-off slice is in flight toward the partner broker that
+	// owns the recipient — from the sender's seat that is "queued":
+	// accepted for eventual delivery, not confirmed received.
+	direct = di
+	queued = qi + hi
+	if ni > 0 {
+		return direct, queued, fmt.Errorf("%w: %d of %d throttled", ErrRelayQuota, ni, chunkLen)
+	}
+	if si > 0 {
+		return direct, queued, fmt.Errorf("%w: %d of %d", ErrRelaySkipped, si, chunkLen)
+	}
+	return direct, queued, nil
 }

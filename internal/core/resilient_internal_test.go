@@ -1,0 +1,63 @@
+package core
+
+// White-box classification table: which failures retry, which resume,
+// which are terminal. The classification IS the trust model (see
+// SECURITY.md): an auth refusal that retried would hammer the broker
+// with what looks like a credential-stuffing loop.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"jxtaoverlay/internal/client"
+	"jxtaoverlay/internal/proto"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name  string
+		err   error
+		want  callClass
+		floor time.Duration
+	}{
+		{"transport timeout", context.DeadlineExceeded, classRetryable, 0},
+		{"wrapped transport", fmt.Errorf("request: %w", errors.New("link down")), classRetryable, 0},
+		{"not connected", client.ErrNotConnected, classResume, 0},
+		{"lease lost", ErrLeaseLost, classResume, 0},
+		{"not logged in", &client.OpError{Token: proto.ErrNotLoggedIn}, classResume, 0},
+		{"lease expired token", &client.OpError{Token: proto.ErrLeaseExpired}, classResume, 0},
+		{"bad sid", &client.OpError{Token: proto.ErrBadSid}, classResume, 0},
+		{"rate limited plain", client.ErrRateLimited, classRetryable, 0},
+		{"rate limited hinted", &client.RateLimitedError{RetryAfter: 20 * time.Millisecond}, classRetryable, 20 * time.Millisecond},
+		{"relay quota", client.ErrRelayQuota, classRetryable, 0},
+		{"auth failed", &client.OpError{Token: proto.ErrAuthFailed}, classTerminal, 0},
+		{"bad signature", &client.OpError{Token: proto.ErrBadSignature}, classTerminal, 0},
+		{"bad credential", &client.OpError{Token: proto.ErrBadCredential}, classTerminal, 0},
+		{"cbid mismatch", &client.OpError{Token: proto.ErrCBIDMismatch}, classTerminal, 0},
+		{"bad request", &client.OpError{Token: proto.ErrBadRequest}, classTerminal, 0},
+		{"unknown op", &client.OpError{Token: proto.ErrUnknownOp}, classTerminal, 0},
+		{"canceled", context.Canceled, classTerminal, 0},
+		{"unknown token", &client.OpError{Token: proto.ErrNotFound}, classRetryable, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cls, floor := classify(tc.err)
+			if cls != tc.want {
+				t.Fatalf("classify(%v) = %v, want %v", tc.err, cls, tc.want)
+			}
+			if floor != tc.floor {
+				t.Fatalf("classify(%v) floor = %v, want %v", tc.err, floor, tc.floor)
+			}
+		})
+	}
+}
+
+func TestResilientConfigDefaults(t *testing.T) {
+	cfg := ResilientConfig{}.withDefaults()
+	if cfg.RetryBudget != 5 || cfg.ResumeBudget != 8 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+}

@@ -1,0 +1,158 @@
+package core_test
+
+// Black-box resilience tests: resume after lease loss, retry under
+// rate limiting, terminal auth refusals, and the Reconnected event.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"jxtaoverlay/internal/backoff"
+	"jxtaoverlay/internal/client"
+	"jxtaoverlay/internal/core"
+	"jxtaoverlay/internal/endpoint"
+	"jxtaoverlay/internal/events"
+	"jxtaoverlay/internal/proto"
+	"jxtaoverlay/internal/simnet"
+)
+
+func listPeersReq(group string) *endpoint.Message {
+	return endpoint.NewMessage().
+		AddString(proto.ElemOp, proto.OpListPeers).
+		AddString(proto.ElemGroup, group)
+}
+
+func resilientCfg() core.ResilientConfig {
+	return core.ResilientConfig{
+		Backoff: backoff.Policy{Base: 5 * time.Millisecond, Cap: 50 * time.Millisecond},
+		Seed:    42,
+	}
+}
+
+func TestResilientResumeAfterLeaseLoss(t *testing.T) {
+	h := newLeaseHarness(t)
+	sc := h.secureClient("alice")
+	rc := core.NewResilientClient(sc, h.br.PeerID(), "pw-alice", resilientCfg())
+	if err := rc.Connect(testCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rc.Close)
+	rec := events.NewCollector(rc.Bus())
+
+	// The session silently dies: its lease lapses and the sweeper takes
+	// presence down. The next resilient call must transparently resume
+	// (fresh secureConnection + secureLogin) and then succeed.
+	h.advance(testLeaseTTL + time.Second)
+	h.brSec.ExpireLapsedNow()
+	if h.br.PeerOnline(rc.PeerID()) {
+		t.Fatal("expired session still online")
+	}
+
+	resp, err := rc.CallResilient(testCtx(t), listPeersReq("math"))
+	if err != nil {
+		t.Fatalf("resilient call after lease loss: %v", err)
+	}
+	if ok, _ := proto.IsOK(resp); !ok {
+		t.Fatal("resilient call returned a refusal")
+	}
+	if !h.br.PeerOnline(rc.PeerID()) {
+		t.Fatal("resume did not re-establish presence")
+	}
+	if _, ok := rec.WaitFor(events.Reconnected, 5*time.Second); !ok {
+		t.Fatal("no Reconnected event after resume")
+	}
+	if st := rc.Stats(); st.Resumes != 1 {
+		t.Fatalf("stats = %+v, want exactly 1 resume", st)
+	}
+	if lease, _ := rc.Lease(); lease == "" {
+		t.Fatal("resumed session holds no lease")
+	}
+}
+
+func TestResilientTerminalAuthNotRetried(t *testing.T) {
+	// Auth refusals must fail immediately: no retries, no resume loop
+	// hammering the broker with bad credentials.
+	h := newLeaseHarness(t)
+	sc := h.secureClient("alice")
+	rc := core.NewResilientClient(sc, h.br.PeerID(), "pw-alice", resilientCfg())
+	if err := rc.Connect(testCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rc.Close)
+
+	req := endpoint.NewMessage().AddString(proto.ElemOp, "no-such-op")
+	_, err := rc.CallResilient(testCtx(t), req)
+	var opErr *client.OpError
+	if !errors.As(err, &opErr) || opErr.Token != proto.ErrUnknownOp {
+		t.Fatalf("err = %v, want unknown-op refusal", err)
+	}
+	if st := rc.Stats(); st.Retries != 0 {
+		t.Fatalf("terminal refusal was retried %d times", st.Retries)
+	}
+}
+
+func TestResilientRetryBudgetExhausts(t *testing.T) {
+	// A peer that can never reach the broker gives up after the budget,
+	// wrapping the last failure.
+	h := newLeaseHarness(t)
+	sc := h.secureClient("alice")
+	cfg := resilientCfg()
+	cfg.RetryBudget = 3
+	cfg.ResumeBudget = 2
+	rc := core.NewResilientClient(sc, h.br.PeerID(), "pw-alice", cfg)
+	if err := rc.Connect(testCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rc.Close)
+
+	// Sever the link for good; keep per-attempt timeouts short.
+	sc.SetTimeout(100 * time.Millisecond)
+	h.net.Partition(simnet.NodeID(rc.PeerID()), h.br.NodeID())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	_, err := rc.CallResilient(ctx, listPeersReq("math"))
+	if err == nil {
+		t.Fatal("call across a permanent partition succeeded")
+	}
+	if !errors.Is(err, core.ErrRetryBudget) {
+		t.Fatalf("err = %v, want ErrRetryBudget", err)
+	}
+	if st := rc.Stats(); st.Retries == 0 {
+		t.Fatal("no retries recorded before giving up")
+	}
+}
+
+func TestResilientIdempotentCallMintsDistinctKeys(t *testing.T) {
+	h := newLeaseHarness(t)
+	sc := h.secureClient("alice")
+	rc := core.NewResilientClient(sc, h.br.PeerID(), "pw-alice", resilientCfg())
+	if err := rc.Connect(testCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rc.Close)
+	ctx := testCtx(t)
+
+	mk := func(name string) *endpoint.Message {
+		return endpoint.NewMessage().
+			AddString(proto.ElemOp, proto.OpGroupCreate).
+			AddString(proto.ElemGroup, name).
+			AddString(proto.ElemDesc, "d")
+	}
+	if _, err := rc.CallIdempotent(ctx, mk("g-one")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rc.CallIdempotent(ctx, mk("g-two")); err != nil {
+		t.Fatal(err)
+	}
+	// Distinct logical calls carry distinct keys: the second create is
+	// NOT collapsed into the first's cached response.
+	if got := h.br.Stats().IdemDeduped; got != 0 {
+		t.Fatalf("IdemDeduped = %d, want 0 across distinct calls", got)
+	}
+	if h.br.IdemEntries() != 2 {
+		t.Fatalf("IdemEntries = %d, want 2", h.br.IdemEntries())
+	}
+}

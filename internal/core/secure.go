@@ -13,6 +13,7 @@ import (
 
 	"jxtaoverlay/internal/advert"
 	"jxtaoverlay/internal/audit"
+	"jxtaoverlay/internal/backoff"
 	"jxtaoverlay/internal/client"
 	"jxtaoverlay/internal/cred"
 	"jxtaoverlay/internal/endpoint"
@@ -89,6 +90,14 @@ type SecureClient struct {
 	mu         sync.RWMutex
 	sid        string
 	brokerCred *cred.Credential
+
+	// Presence lease granted at SecureLogin (liveness; see
+	// heartbeat.go). hbSeq is the client-side heartbeat sequence,
+	// strictly increasing across the whole client lifetime so a lease
+	// from a resumed session never sees a repeated sequence number.
+	leaseID  string
+	leaseTTL time.Duration
+	hbSeq    uint64
 }
 
 // NewSecureClient wraps a client whose membership identity carries a key
@@ -317,6 +326,19 @@ func (s *SecureClient) SecureLogin(ctx context.Context, password string) error {
 	s.SetAdvSigner(func(doc *xmldoc.Element) error {
 		return xdsig.Sign(doc, s.kp, myCred, brCred)
 	})
+
+	// Liveness: record the presence lease, if the broker granted one.
+	leaseID, _ := resp.GetString(proto.ElemLease)
+	var leaseTTL time.Duration
+	if ttlStr, ok := resp.GetString(proto.ElemLeaseTTL); ok {
+		if ms, err := strconv.ParseInt(ttlStr, 10, 64); err == nil && ms > 0 {
+			leaseTTL = time.Duration(ms) * time.Millisecond
+		}
+	}
+	s.mu.Lock()
+	s.leaseID = leaseID
+	s.leaseTTL = leaseTTL
+	s.mu.Unlock()
 
 	groupsCSV, _ := resp.GetString(proto.ElemGroups)
 	return s.FinishLogin(ctx, splitCSV(groupsCSV))
@@ -554,7 +576,7 @@ func (s *SecureClient) handleEnvelope(group string, d pipes.Delivery) bool {
 	user := ""
 	if opened.Signed() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		senderKey, senderCred, err := s.senderKey(ctx, opened.Sender, group)
+		senderKey, senderCred, err := s.senderKeyPatient(ctx, opened.Sender, group)
 		cancel()
 		if err != nil {
 			alert(opened.Sender, ErrSenderUnknown.Error())
@@ -588,6 +610,45 @@ func (s *SecureClient) handleEnvelope(group string, d pipes.Delivery) bool {
 		Data: opened.Body,
 	})
 	return true
+}
+
+// senderKeyPatient resolves the sender's certified key for an inbound
+// push, absorbing transient lookup failures. This is the one surface
+// where giving up loses data permanently: by the time the envelope is
+// in hand the relay has already acked the delivery and retired the
+// slice, so a lookup that fails because this client is mid-resume
+// (not-logged-in for a beat while the heartbeat loop re-establishes
+// the session) or because the lookup frame itself was lost must not
+// condemn the message. Each attempt is individually bounded — a
+// silently dropped frame costs one openLookupTimeout, not the whole
+// budget — and terminal verdicts (untrusted chain, subject mismatch)
+// stop the loop at once.
+const (
+	openLookupAttempts = 4
+	openLookupTimeout  = 1 * time.Second
+)
+
+func (s *SecureClient) senderKeyPatient(ctx context.Context, sender keys.PeerID, group string) (*keys.PublicKey, *cred.Credential, error) {
+	pol := backoff.Policy{Base: 100 * time.Millisecond, Cap: 800 * time.Millisecond}
+	var lastErr error
+	for attempt := 0; attempt < openLookupAttempts; attempt++ {
+		actx, cancel := context.WithTimeout(ctx, openLookupTimeout)
+		key, c, err := s.senderKey(actx, sender, group)
+		cancel()
+		if err == nil {
+			return key, c, nil
+		}
+		lastErr = err
+		if class, _ := classify(err); class == classTerminal {
+			return nil, nil, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, nil, lastErr
+		case <-time.After(pol.Delay(attempt, nil)):
+		}
+	}
+	return nil, nil, lastErr
 }
 
 // senderKey resolves the sender's certified key via its signed pipe

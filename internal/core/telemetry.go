@@ -63,6 +63,12 @@ func RegisterBrokerTelemetry(reg *telemetry.Registry, b *broker.Broker, bs *Brok
 	reg.GaugeFunc("broker_peers_known",
 		"Session records held (online and offline).",
 		func() float64 { return float64(b.Stats().PeersKnown) })
+	reg.CounterFunc("broker_idem_deduped_total",
+		"Mutating requests answered from the idempotency dedup window.",
+		func() float64 { return u(b.Stats().IdemDeduped) })
+	reg.GaugeFunc("broker_idem_entries",
+		"Responses currently cached in the idempotency dedup window.",
+		func() float64 { return float64(b.IdemEntries()) })
 
 	// Security extension: replay guard, signature caches, parsers. The
 	// replay and parse counters are process-wide aggregates (see their
@@ -84,6 +90,22 @@ func RegisterBrokerTelemetry(reg *telemetry.Registry, b *broker.Broker, bs *Brok
 		"Advertisement parses (cache misses in the signed-adv path).",
 		func() float64 { return u(advert.ParseCalls()) })
 	if bs != nil {
+		// Liveness: presence leases and the heartbeat surface.
+		reg.CounterFunc("core_leases_granted_total",
+			"Presence leases minted at secureLogin.",
+			func() float64 { return u(bs.LivenessStats().LeasesGranted) })
+		reg.CounterFunc("core_leases_expired_total",
+			"Leases lapsed by missed heartbeats (presence taken down).",
+			func() float64 { return u(bs.LivenessStats().LeasesExpired) })
+		reg.CounterFunc("core_heartbeats_renewed_total",
+			"Heartbeats that renewed a live lease.",
+			func() float64 { return u(bs.LivenessStats().HeartbeatsRenewed) })
+		reg.CounterFunc("core_heartbeats_rejected_total",
+			"Heartbeats refused (bad credential, replayed seq, lapsed lease).",
+			func() float64 { return u(bs.LivenessStats().HeartbeatsRejected) })
+		reg.GaugeFunc("core_leases",
+			"Presence leases currently live.",
+			func() float64 { return float64(bs.Leases()) })
 		if vc := bs.VerifyCache(); vc != nil {
 			reg.CounterFunc("xdsig_verify_cache_hits_total",
 				"Signature verifications skipped by the verify cache.",

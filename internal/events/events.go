@@ -35,6 +35,11 @@ const (
 	// after draining a returning peer's queue; the "delivered" payload
 	// attribute carries the item count.
 	RelayFlushed Type = "relay-flushed"
+	// Reconnected is emitted by the client resilience layer after an
+	// automatic session resume (re-secureLogin, re-announce,
+	// re-subscribe) completes; the "attempts" payload attribute
+	// carries how many backoff-gated tries the resume took.
+	Reconnected Type = "reconnected"
 )
 
 // Event is one notification. Payload carries small string attributes;

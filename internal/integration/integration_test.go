@@ -18,6 +18,7 @@ import (
 	"jxtaoverlay/internal/membership"
 	"jxtaoverlay/internal/simnet"
 	"jxtaoverlay/internal/userdb"
+	"jxtaoverlay/internal/waituntil"
 )
 
 func ctxT(t *testing.T, d time.Duration) context.Context {
@@ -153,20 +154,19 @@ func mustJoinLossy(t *testing.T, net *simnet.Network, br *broker.Broker, alias s
 		t.Fatal(err)
 	}
 	t.Cleanup(cl.Close)
-	deadline := time.Now().Add(30 * time.Second)
-	for time.Now().Before(deadline) {
+	if waituntil.True(30*time.Second, func() bool {
 		ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
 		err = cl.Connect(ctx, br.PeerID())
 		cancel()
 		if err != nil {
-			continue
+			return false
 		}
 		ctx, cancel = context.WithTimeout(context.Background(), 500*time.Millisecond)
 		err = cl.Login(ctx, "pw")
 		cancel()
-		if err == nil {
-			return cl
-		}
+		return err == nil
+	}) {
+		return cl
 	}
 	t.Fatalf("%s could not join under loss: %v", alias, err)
 	return nil

@@ -1,0 +1,162 @@
+// Liveness end-to-end: a peer that silently dies mid-round (no logout,
+// no FIN — it just stops heartbeating) must not black-hole delivery.
+// Its lease lapses, the broker expires its presence, and the relay
+// flips from live push to queueing; when the peer re-logins, the
+// queued slices drain to it through the normal flush pipeline.
+package integration_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"jxtaoverlay/internal/broker"
+	"jxtaoverlay/internal/client"
+	"jxtaoverlay/internal/core"
+	"jxtaoverlay/internal/events"
+	"jxtaoverlay/internal/keys"
+	"jxtaoverlay/internal/membership"
+	"jxtaoverlay/internal/simnet"
+	"jxtaoverlay/internal/userdb"
+	"jxtaoverlay/internal/waituntil"
+)
+
+func TestExpiredLeasePeerIsQueuedForNotBlackHoled(t *testing.T) {
+	const leaseTTL = 30 * time.Second
+	net := simnet.NewNetwork(simnet.LinkProfile{})
+	defer net.Close()
+
+	dep, err := core.NewDeployment("admin", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := userdb.NewStoreIter(4)
+	db.Register("alice", "pw", "g")
+	db.Register("bob", "pw", "g")
+	brKP, _ := keys.NewKeyPair()
+	brCred, err := dep.IssueBrokerCredential(brKP.Public(), "lease-broker", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trust, _ := dep.TrustStore()
+	br, err := broker.New(broker.Config{
+		Name: "lease-broker", PeerID: brCred.Subject, Net: net,
+		DB: broker.AuthenticatorFunc(func(_ context.Context, u, p string) ([]string, error) {
+			return db.Authenticate(u, p)
+		}),
+		RequireSecureLogin: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer br.Close()
+	brSec, err := core.EnableBrokerSecurity(br, core.BrokerConfig{
+		KeyPair: brKP, Credential: brCred, Trust: trust,
+		RequireSignedAdvs: true, LeaseTTL: leaseTTL,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer brSec.Close()
+	var mu sync.Mutex
+	now := time.Now()
+	brSec.SetClock(func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	})
+	advance := func(d time.Duration) {
+		mu.Lock()
+		now = now.Add(d)
+		mu.Unlock()
+	}
+	rly, err := core.EnableBrokerRelay(br, core.RelayConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rly.Close()
+
+	mkClient := func(name string) *core.SecureClient {
+		cl, err := client.New(net, membership.NewPSE("", 0), name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(cl.Close)
+		clTrust, _ := dep.TrustStore()
+		sc, err := core.NewSecureClient(cl, clTrust)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := ctxT(t, 30*time.Second)
+		if err := sc.SecureConnection(ctx, br.PeerID()); err != nil {
+			t.Fatalf("%s secureConnection: %v", name, err)
+		}
+		if err := sc.SecureLogin(ctx, "pw"); err != nil {
+			t.Fatalf("%s secureLogin: %v", name, err)
+		}
+		return sc
+	}
+	alice, bob := mkClient("alice"), mkClient("bob")
+	bobEvents := events.NewCollector(bob.Bus())
+
+	// Bob silently dies: no logout, no disconnect — his heartbeats just
+	// stop. Alice keeps heartbeating; one TTL later the sweeper expires
+	// bob's presence and only his.
+	advance(leaseTTL - time.Second)
+	if err := alice.SecureHeartbeat(ctxT(t, 10*time.Second)); err != nil {
+		t.Fatalf("alice heartbeat: %v", err)
+	}
+	advance(2 * time.Second)
+	brSec.ExpireLapsedNow()
+	if br.PeerOnline(bob.PeerID()) {
+		t.Fatal("bob still online past his lease with no heartbeat")
+	}
+	if !br.PeerOnline(alice.PeerID()) {
+		t.Fatal("alice expired despite heartbeating")
+	}
+
+	// Alice's round now queues bob's slice instead of pushing into the
+	// dead session (or skipping him entirely — the black-hole this test
+	// convicts).
+	direct, queued, err := alice.SecureMsgPeerGroupRelay(ctxT(t, 30*time.Second), "g", "while you were out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct != 0 || queued != 1 {
+		t.Fatalf("direct=%d queued=%d, want 0 direct / 1 queued for the expired peer", direct, queued)
+	}
+	if rly.QueuedTotal() != 1 {
+		t.Fatalf("relay holds %d slices, want 1", rly.QueuedTotal())
+	}
+
+	// Bob comes back with a full re-login (his sid and lease are gone).
+	// The login presence event drains his queue: the message that was
+	// sent while he was dead arrives now.
+	ctx := ctxT(t, 30*time.Second)
+	if err := bob.SecureConnection(ctx, br.PeerID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := bob.SecureLogin(ctx, "pw"); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := bobEvents.WaitFor(events.SecureMessage, 10*time.Second)
+	if !ok {
+		t.Fatalf("queued slice never delivered after re-login (relay %+v)", rly.Metrics())
+	}
+	if string(e.Data) != "while you were out" || e.Payload["authenticated"] != "true" {
+		t.Fatalf("bob got %q (auth=%s)", e.Data, e.Payload["authenticated"])
+	}
+	waituntil.True(5*time.Second, func() bool { return rly.QueuedTotal() == 0 })
+	if got := rly.QueuedTotal(); got != 0 {
+		t.Fatalf("relay still holds %d slices after re-login", got)
+	}
+	// Exactly once: the drain must not double-deliver.
+	time.Sleep(100 * time.Millisecond)
+	if n := len(bobEvents.OfType(events.SecureMessage)); n != 1 {
+		t.Fatalf("bob saw %d copies, want 1", n)
+	}
+	if st := brSec.LivenessStats(); st.LeasesExpired != 1 || st.LeasesGranted != 3 {
+		t.Fatalf("liveness stats %+v, want 1 expired / 3 granted", st)
+	}
+}

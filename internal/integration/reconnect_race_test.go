@@ -1,0 +1,156 @@
+// Reconnect racing the relay drain: a peer that resumes its session
+// WHILE the relay is pushing its queued backlog must neither lose a
+// slice (the drain aborts, the items stay queued and follow the new
+// session) nor surface one twice (redeliveries collapse in the replay
+// guard below the application). Run with -race: the interesting bugs
+// here are ordering windows between the login presence path, the shard
+// drain worker, and the client's pipe re-binding.
+package integration_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"jxtaoverlay/internal/broker"
+	"jxtaoverlay/internal/client"
+	"jxtaoverlay/internal/core"
+	"jxtaoverlay/internal/events"
+	"jxtaoverlay/internal/keys"
+	"jxtaoverlay/internal/membership"
+	"jxtaoverlay/internal/simnet"
+	"jxtaoverlay/internal/userdb"
+	"jxtaoverlay/internal/waituntil"
+)
+
+func TestReconnectDuringRelayDrain(t *testing.T) {
+	const rounds = 12
+	net := simnet.NewNetwork(simnet.LinkProfile{})
+	defer net.Close()
+
+	dep, err := core.NewDeployment("admin", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := userdb.NewStoreIter(4)
+	db.Register("alice", "pw", "g")
+	db.Register("bob", "pw", "g")
+	brKP, _ := keys.NewKeyPair()
+	brCred, err := dep.IssueBrokerCredential(brKP.Public(), "race-broker", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trust, _ := dep.TrustStore()
+	br, err := broker.New(broker.Config{
+		Name: "race-broker", PeerID: brCred.Subject, Net: net,
+		DB: broker.AuthenticatorFunc(func(_ context.Context, u, p string) ([]string, error) {
+			return db.Authenticate(u, p)
+		}),
+		RequireSecureLogin: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer br.Close()
+	if _, err := core.EnableBrokerSecurity(br, core.BrokerConfig{
+		KeyPair: brKP, Credential: brCred, Trust: trust, RequireSignedAdvs: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rly, err := core.EnableBrokerRelay(br, core.RelayConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rly.Close()
+
+	mkClient := func(name string, opts ...core.Option) *core.SecureClient {
+		cl, err := client.New(net, membership.NewPSE("", 0), name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(cl.Close)
+		clTrust, _ := dep.TrustStore()
+		sc, err := core.NewSecureClient(cl, clTrust, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := ctxT(t, 30*time.Second)
+		if err := sc.SecureConnection(ctx, br.PeerID()); err != nil {
+			t.Fatalf("%s secureConnection: %v", name, err)
+		}
+		if err := sc.SecureLogin(ctx, "pw"); err != nil {
+			t.Fatalf("%s secureLogin: %v", name, err)
+		}
+		return sc
+	}
+	alice := mkClient("alice")
+	bob := mkClient("bob", core.WithReplayGuard(core.NewReplayGuard(time.Minute, 256)))
+	bobEvents := events.NewCollector(bob.Bus())
+
+	// Bob leaves; alice queues a backlog of distinct rounds for him.
+	if err := bob.Logout(ctxT(t, 10*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rounds; i++ {
+		direct, queued, err := alice.SecureMsgPeerGroupRelay(ctxT(t, 30*time.Second), "g", fmt.Sprintf("backlog-%d", i))
+		if err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		if direct != 0 || queued != 1 {
+			t.Fatalf("round %d: direct=%d queued=%d", i, direct, queued)
+		}
+	}
+	if got := rly.QueuedTotal(); got != rounds {
+		t.Fatalf("relay holds %d slices, want %d", got, rounds)
+	}
+
+	// Bob returns — and reconnects AGAIN while the first login's drain
+	// is still pushing. The second login races the shard worker: its
+	// fresh session must keep (or re-trigger) the drain, and the replay
+	// guard must absorb any redelivered overlap.
+	relogin := func() {
+		ctx := ctxT(t, 30*time.Second)
+		if err := bob.SecureConnection(ctx, br.PeerID()); err != nil {
+			t.Fatalf("re-secureConnection: %v", err)
+		}
+		if err := bob.SecureLogin(ctx, "pw"); err != nil {
+			t.Fatalf("re-secureLogin: %v", err)
+		}
+	}
+	relogin()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		relogin() // races the in-flight drain of the first re-login
+	}()
+	wg.Wait()
+
+	// Every queued round must surface exactly once, none dropped.
+	waituntil.True(15*time.Second, func() bool {
+		return len(bobEvents.OfType(events.SecureMessage)) >= rounds && rly.QueuedTotal() == 0
+	})
+	got := bobEvents.OfType(events.SecureMessage)
+	seen := map[string]int{}
+	for _, e := range got {
+		seen[string(e.Data)]++
+	}
+	for i := 0; i < rounds; i++ {
+		key := fmt.Sprintf("backlog-%d", i)
+		switch seen[key] {
+		case 0:
+			t.Errorf("%s dropped during reconnect-vs-drain race (relay %+v)", key, rly.Metrics())
+		case 1:
+		default:
+			t.Errorf("%s delivered %d times", key, seen[key])
+		}
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	if got := rly.QueuedTotal(); got != 0 {
+		t.Fatalf("relay still holds %d slices", got)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"jxtaoverlay/internal/relay"
 	"jxtaoverlay/internal/simnet"
 	"jxtaoverlay/internal/userdb"
+	"jxtaoverlay/internal/waituntil"
 )
 
 func TestQueuedSliceFollowsPeerToPartnerBroker(t *testing.T) {
@@ -126,10 +127,7 @@ func TestQueuedSliceFollowsPeerToPartnerBroker(t *testing.T) {
 		t.Fatalf("bob got %q (auth=%s)", e.Data, e.Payload["authenticated"])
 	}
 
-	deadline := time.Now().Add(5 * time.Second)
-	for rlyA.QueuedTotal() > 0 && time.Now().Before(deadline) {
-		time.Sleep(5 * time.Millisecond)
-	}
+	waituntil.True(5*time.Second, func() bool { return rlyA.QueuedTotal() == 0 })
 	if got := rlyA.QueuedTotal(); got != 0 {
 		t.Fatalf("origin relay still holds %d slices", got)
 	}

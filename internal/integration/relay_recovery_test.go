@@ -21,6 +21,7 @@ import (
 	"jxtaoverlay/internal/relay/wal"
 	"jxtaoverlay/internal/simnet"
 	"jxtaoverlay/internal/userdb"
+	"jxtaoverlay/internal/waituntil"
 )
 
 // TestRelayCrashRecoveryExactlyOnce kills the relay at every fault
@@ -162,10 +163,9 @@ func runCrashRecovery(t *testing.T, point wal.FaultPoint) {
 	if err := carol.SecureLogin(ctx, "pw"); err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(10 * time.Second)
-	for uint64(len(carolEvents.OfType(events.SecureMessage))) < wantRecovered && time.Now().Before(deadline) {
-		time.Sleep(5 * time.Millisecond)
-	}
+	waituntil.True(10*time.Second, func() bool {
+		return uint64(len(carolEvents.OfType(events.SecureMessage))) >= wantRecovered
+	})
 	got := carolEvents.OfType(events.SecureMessage)
 	if uint64(len(got)) != wantRecovered {
 		t.Fatalf("carol received %d messages after recovery, want %d", len(got), wantRecovered)

@@ -22,6 +22,7 @@ import (
 	"jxtaoverlay/internal/proto"
 	"jxtaoverlay/internal/simnet"
 	"jxtaoverlay/internal/userdb"
+	"jxtaoverlay/internal/waituntil"
 )
 
 func TestRelayedRoundSurvivesChurn(t *testing.T) {
@@ -158,10 +159,7 @@ func TestRelayedRoundSurvivesChurn(t *testing.T) {
 			t.Fatalf("returning member %s got mode %s, want %s", c.Username(), e.Payload["mode"], core.ModeSlice)
 		}
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	for rly.QueuedTotal() > 0 && time.Now().Before(deadline) {
-		time.Sleep(5 * time.Millisecond)
-	}
+	waituntil.True(5*time.Second, func() bool { return rly.QueuedTotal() == 0 })
 	if got := rly.QueuedTotal(); got != 0 {
 		t.Fatalf("relay still holds %d slices after everyone returned", got)
 	}

@@ -92,6 +92,26 @@ const (
 	// stage span of one message shares one ID. Absent = untraced;
 	// brokers never reject a message over it.
 	ElemTrace = "trace:id"
+
+	// Presence-lease elements (session liveness). secureLogin responses
+	// carry the granted lease identifier and its TTL in milliseconds;
+	// the signed heartbeat body renews it. A broker that grants no
+	// lease omits both (presence then never expires, the pre-liveness
+	// behaviour).
+	ElemLease    = "lease:id"
+	ElemLeaseTTL = "lease:ttl"
+
+	// ElemIdem carries a client-minted idempotency key on a mutating
+	// operation. The broker remembers (peer, key) → response for a
+	// dedup window, so a retry after an ambiguous timeout returns the
+	// original response instead of executing the mutation twice.
+	// Absent = no dedup (the pre-resilience behaviour).
+	ElemIdem = "idem:key"
+
+	// ElemRetryAfter is a broker backoff hint (milliseconds) attached
+	// to rate-limited refusals: the soonest a retry could be admitted.
+	// Advisory — clients still jitter around it.
+	ElemRetryAfter = "retry:after"
 )
 
 // Broker operations (the Broker Module "functions" clients call).
@@ -180,6 +200,11 @@ const (
 	// invoking credential exhausted its token bucket. The broker is
 	// healthy and other credentials are unaffected; back off and retry.
 	ErrRateLimited = "rate-limited"
+	// ErrLeaseExpired means the heartbeat named a presence lease the
+	// broker no longer holds — it expired (missed heartbeats) or was
+	// superseded by a newer login. The session is gone: re-login
+	// (secureConnection + secureLogin), don't retry the heartbeat.
+	ErrLeaseExpired = "lease-expired"
 )
 
 // OpFedRelaySlice forwards one queued round slice broker-to-broker:

@@ -238,4 +238,4 @@ func TestCloseCancelsArmedRetry(t *testing.T) {
 	}
 }
 
-func retryDelayForTest() time.Duration { return 250 * time.Millisecond }
+func retryDelayForTest() time.Duration { return relay.DefaultRetryBackoff.Ceiling(1) }

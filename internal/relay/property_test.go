@@ -11,6 +11,7 @@ import (
 	"jxtaoverlay/internal/keys"
 	"jxtaoverlay/internal/relay"
 	"jxtaoverlay/internal/relay/wal"
+	"jxtaoverlay/internal/waituntil"
 )
 
 // TestRecoveryMatchesModel drives a durable relay through random
@@ -214,13 +215,11 @@ func payloadsOf(items []modelItem) []string {
 // cannot fail in these tests, so a drain always empties it).
 func waitQuiet(t *testing.T, r *relay.Relay, id keys.PeerID) {
 	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
+	waituntil.Must(t, 5*time.Second, func() bool {
 		if r.QueueLen(id) == 0 {
-			return
+			return true
 		}
 		r.Flush(id)
-		time.Sleep(time.Millisecond)
-	}
-	t.Fatalf("queue for %s never drained", id)
+		return false
+	}, "queue for %s never drained", id)
 }

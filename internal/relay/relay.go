@@ -33,6 +33,7 @@ import (
 
 	"jxtaoverlay/internal/advert"
 	"jxtaoverlay/internal/audit"
+	"jxtaoverlay/internal/backoff"
 	"jxtaoverlay/internal/events"
 	"jxtaoverlay/internal/keys"
 	"jxtaoverlay/internal/relay/wal"
@@ -116,9 +117,24 @@ type Config struct {
 	// and WAL write failures (nil = off). Ordinary deliveries are not
 	// audited: the audit log records refusals and faults, not traffic.
 	Auditor *audit.Journal
+	// RetryBackoff spaces the re-drain attempts armed after delivery
+	// failures against a still-online peer: capped exponential with
+	// full jitter, per-peer attempt counters resetting on a successful
+	// delivery (zero = DefaultRetryBackoff). A fixed spacing here
+	// re-synchronizes every stuck peer's retries; the jitter spreads
+	// them out.
+	RetryBackoff backoff.Policy
+	// RetrySeed seeds the retry jitter for deterministic scenarios
+	// (0 = the global entropy source).
+	RetrySeed int64
 	// Clock overrides the time source (tests).
 	Clock func() time.Time
 }
+
+// DefaultRetryBackoff keeps the first re-drain as prompt as the old
+// fixed 250ms timer while letting a persistently failing peer's
+// retries stretch to 5s instead of hammering every quarter second.
+var DefaultRetryBackoff = backoff.Policy{Base: 250 * time.Millisecond, Cap: 5 * time.Second}
 
 // Metrics is a snapshot of the relay's counters.
 type Metrics struct {
@@ -174,9 +190,12 @@ type Relay struct {
 	byGroup  map[string]int
 
 	// Armed mid-drain retry timers, cancelled by Close so a retry can
-	// never fire against a closed relay.
-	retryMu     sync.Mutex
-	retryTimers map[keys.PeerID]*time.Timer
+	// never fire against a closed relay. retryAttempts drives the
+	// per-peer backoff schedule; retryUnit is the jitter draw.
+	retryMu       sync.Mutex
+	retryTimers   map[keys.PeerID]*time.Timer
+	retryAttempts map[keys.PeerID]int
+	retryUnit     func() float64
 
 	bus       *events.Bus // optional, set by BindBus; emits RelayFlushed
 	busCancel func()      // unsubscribes from the bus; called by Close
@@ -226,14 +245,21 @@ func New(cfg Config, online OnlineFunc, deliver DeliverFunc) (*Relay, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
+	if cfg.RetryBackoff == (backoff.Policy{}) {
+		cfg.RetryBackoff = DefaultRetryBackoff
+	}
 	r := &Relay{
-		cfg:         cfg,
-		deliver:     deliver,
-		online:      online,
-		stop:        make(chan struct{}),
-		bySender:    make(map[keys.PeerID]int),
-		byGroup:     make(map[string]int),
-		retryTimers: make(map[keys.PeerID]*time.Timer),
+		cfg:           cfg,
+		deliver:       deliver,
+		online:        online,
+		stop:          make(chan struct{}),
+		bySender:      make(map[keys.PeerID]int),
+		byGroup:       make(map[string]int),
+		retryTimers:   make(map[keys.PeerID]*time.Timer),
+		retryAttempts: make(map[keys.PeerID]int),
+	}
+	if cfg.RetrySeed != 0 {
+		r.retryUnit = backoff.NewSource(cfg.RetryBackoff, cfg.RetrySeed).Unit
 	}
 	r.shards = make([]*shard, cfg.Shards)
 	for i := range r.shards {
@@ -489,14 +515,12 @@ func (r *Relay) SenderOverQuota(id keys.PeerID) bool {
 // TTL reports the queue TTL items are stamped with at submission.
 func (r *Relay) TTL() time.Duration { return r.cfg.TTL }
 
-// retryDelay spaces the re-drain attempts armed after a delivery
-// failure against a peer that is still online.
-const retryDelay = 250 * time.Millisecond
-
-// retryFlush arms a delayed re-drain of the peer's queue. The timer is
-// tracked so Close can cancel it: without that, a retry armed just
-// before shutdown could fire against a closed relay (and, under -race,
-// against freed state). One armed timer per peer — re-arming replaces.
+// retryFlush arms a delayed re-drain of the peer's queue, spaced by
+// the capped-exponential-with-jitter schedule (Config.RetryBackoff) on
+// the peer's attempt counter. The timer is tracked so Close can cancel
+// it: without that, a retry armed just before shutdown could fire
+// against a closed relay (and, under -race, against freed state). One
+// armed timer per peer — re-arming replaces.
 func (r *Relay) retryFlush(id keys.PeerID) {
 	r.retryMu.Lock()
 	defer r.retryMu.Unlock()
@@ -506,8 +530,11 @@ func (r *Relay) retryFlush(id keys.PeerID) {
 	if t, ok := r.retryTimers[id]; ok {
 		t.Stop()
 	}
+	attempt := r.retryAttempts[id]
+	r.retryAttempts[id] = attempt + 1
+	delay := r.cfg.RetryBackoff.Delay(attempt, r.retryUnit)
 	var tm *time.Timer
-	tm = time.AfterFunc(retryDelay, func() {
+	tm = time.AfterFunc(delay, func() {
 		r.retryMu.Lock()
 		if r.retryTimers[id] == tm {
 			delete(r.retryTimers, id)
@@ -516,6 +543,23 @@ func (r *Relay) retryFlush(id keys.PeerID) {
 		r.Flush(id)
 	})
 	r.retryTimers[id] = tm
+}
+
+// resetRetry rewinds a peer's backoff schedule after a successful
+// delivery, so the next transient failure starts from the base delay
+// again instead of the stretched tail.
+func (r *Relay) resetRetry(id keys.PeerID) {
+	r.retryMu.Lock()
+	delete(r.retryAttempts, id)
+	r.retryMu.Unlock()
+}
+
+// RetryAttempt reports the peer's current backoff attempt counter
+// (tests and diagnostics).
+func (r *Relay) RetryAttempt(id keys.PeerID) int {
+	r.retryMu.Lock()
+	defer r.retryMu.Unlock()
+	return r.retryAttempts[id]
 }
 
 // Flush schedules an asynchronous drain of the peer's queue on its
@@ -796,6 +840,9 @@ func (s *shard) drain(id keys.PeerID) {
 			})
 		}
 		flushed++
+	}
+	if flushed > 0 {
+		s.r.resetRetry(id)
 	}
 	if flushed > 0 && s.r.bus != nil {
 		s.r.bus.Emit(events.Event{Type: events.RelayFlushed, From: id, Payload: map[string]string{

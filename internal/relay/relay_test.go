@@ -12,6 +12,7 @@ import (
 	"jxtaoverlay/internal/events"
 	"jxtaoverlay/internal/keys"
 	"jxtaoverlay/internal/relay"
+	"jxtaoverlay/internal/waituntil"
 )
 
 // sink collects deliveries and simulates per-peer reachability.
@@ -65,14 +66,7 @@ func mustRelay(t *testing.T, cfg relay.Config, s *sink) *relay.Relay {
 
 func waitFor(t *testing.T, cond func() bool) {
 	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		if cond() {
-			return
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
-	t.Fatal("condition not reached within 5s")
+	waituntil.Must(t, 5*time.Second, cond, "condition not reached within 5s")
 }
 
 func item(to keys.PeerID, payload string) relay.Item {

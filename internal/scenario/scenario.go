@@ -35,7 +35,7 @@ import (
 
 // Names lists the runnable scenarios.
 func Names() []string {
-	return []string{"join-storm", "drain-spike", "parse-flood", "slow-sender"}
+	return []string{"join-storm", "drain-spike", "parse-flood", "slow-sender", "partition-churn"}
 }
 
 // Options parameterize a scenario run. Zero values take per-scenario
@@ -110,6 +110,28 @@ type Summary struct {
 	// AuditRecords counts event records appended to the audit journal
 	// (0 when the run had no AuditDir).
 	AuditRecords int64 `json:"audit_records"`
+	// Liveness and resilience evidence (PR 10). Populated by
+	// partition-churn; zero (but always present) elsewhere.
+	// HeartbeatsRenewed counts heartbeat renewals the broker accepted.
+	HeartbeatsRenewed int64 `json:"heartbeats_renewed"`
+	// LeasesExpired counts presence leases lapsed by missed heartbeats.
+	LeasesExpired int64 `json:"leases_expired"`
+	// Resumes counts successful client session resumes; ResumeAttempts
+	// the login attempts they took (the reconnect-storm bound gates on
+	// attempts, not successes).
+	Resumes        int64 `json:"resumes"`
+	ResumeAttempts int64 `json:"resume_attempts"`
+	// Retries counts resilient-call attempts beyond the first.
+	Retries int64 `json:"retries"`
+	// IdemDeduped counts retried mutations the broker's dedup window
+	// collapsed (each one is a double-execution that did not happen).
+	IdemDeduped int64 `json:"idem_deduped"`
+	// DuplicateOpens counts message deliveries a recipient saw more
+	// than once — the churn contract demands zero.
+	DuplicateOpens int64 `json:"duplicate_opens"`
+	// RelayRecovered counts slices rebuilt from the WAL by the
+	// mid-traffic relay restart.
+	RelayRecovered int64 `json:"relay_recovered"`
 	// Anomalies is the gate: human-readable descriptions of everything
 	// that deviated from the scenario's contract. Empty means pass.
 	Anomalies []string `json:"anomalies"`
@@ -156,6 +178,8 @@ func Run(name string, opt Options) (*Summary, error) {
 		return parseFlood(ctx, opt, profile)
 	case "slow-sender":
 		return slowSender(ctx, opt, profile)
+	case "partition-churn":
+		return partitionChurn(ctx, opt, profile)
 	}
 	return nil, fmt.Errorf("scenario: unknown scenario %q (have %s)", name, strings.Join(Names(), ", "))
 }
@@ -182,7 +206,10 @@ type stack struct {
 	closers []func()
 }
 
-func newStack(nClients int, profile simnet.LinkProfile, admCfg *admission.Config, relayCfg core.RelayConfig, opt Options) (*stack, error) {
+// newStack builds the deployment. A non-zero leaseTTL enables presence
+// leases (partition-churn heartbeats against it); zero keeps the
+// pre-liveness behavior the other scenarios were gated on.
+func newStack(nClients int, profile simnet.LinkProfile, admCfg *admission.Config, relayCfg core.RelayConfig, leaseTTL time.Duration, opt Options) (*stack, error) {
 	reg := opt.Registry
 	s := &stack{net: simnet.NewNetworkSeeded(profile, 42), reg: reg, tr: opt.Tracer}
 	s.closers = append(s.closers, s.net.Close)
@@ -252,6 +279,7 @@ func newStack(nClients int, profile simnet.LinkProfile, admCfg *admission.Config
 	s.closers = append(s.closers, br.Close)
 	bs, err := core.EnableBrokerSecurity(br, core.BrokerConfig{
 		KeyPair: brKP, Credential: brCred, Trust: trust, RequireSignedAdvs: true,
+		LeaseTTL: leaseTTL,
 	})
 	if err != nil {
 		return nil, err

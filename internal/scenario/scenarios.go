@@ -9,8 +9,13 @@ import (
 	"time"
 
 	"jxtaoverlay/internal/admission"
+	"jxtaoverlay/internal/backoff"
+	"jxtaoverlay/internal/client"
 	"jxtaoverlay/internal/core"
 	"jxtaoverlay/internal/endpoint"
+	"jxtaoverlay/internal/events"
+	"jxtaoverlay/internal/keys"
+	"jxtaoverlay/internal/membership"
 	"jxtaoverlay/internal/proto"
 	"jxtaoverlay/internal/simnet"
 )
@@ -27,7 +32,7 @@ func joinStorm(ctx context.Context, opt Options, profile simnet.LinkProfile) (*S
 	}
 	sum := &Summary{Scenario: "join-storm", Profile: opt.Profile, Clients: n, Rounds: 1,
 		Drops: map[string]int64{}, Anomalies: []string{}}
-	s, err := newStack(n, profile, nil, core.RelayConfig{}, opt)
+	s, err := newStack(n, profile, nil, core.RelayConfig{}, 0, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -108,7 +113,7 @@ func drainSpike(ctx context.Context, opt Options, profile simnet.LinkProfile) (*
 	}
 	defer os.RemoveAll(walDir)
 	relayCfg.WAL.Dir = walDir
-	s, err := newStack(n, profile, nil, relayCfg, opt)
+	s, err := newStack(n, profile, nil, relayCfg, 0, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -238,7 +243,7 @@ func parseFlood(ctx context.Context, opt Options, profile simnet.LinkProfile) (*
 		Drops: map[string]int64{}, Anomalies: []string{}}
 	// Admission stays on but far above the flood rate: the scenario
 	// isolates the parser, not the rate limiter.
-	s, err := newStack(n, profile, &admission.Config{Rate: 10_000, Burst: 10_000}, core.RelayConfig{}, opt)
+	s, err := newStack(n, profile, &admission.Config{Rate: 10_000, Burst: 10_000}, core.RelayConfig{}, 0, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -318,7 +323,7 @@ func slowSender(ctx context.Context, opt Options, profile simnet.LinkProfile) (*
 	// briefly; size the queues to the full round volume anyway.
 	relayCfg := core.RelayConfig{}
 	relayCfg.QueueCap = n*rounds + 16
-	s, err := newStack(n, profile, nil, relayCfg, opt)
+	s, err := newStack(n, profile, nil, relayCfg, 0, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -381,6 +386,350 @@ func slowSender(ctx context.Context, opt Options, profile simnet.LinkProfile) (*
 	}
 	finish(sum, s)
 	return sum, nil
+}
+
+// joinResilient brings one client up behind the resilience wrapper:
+// replay guard installed (relay redeliveries must collapse below the
+// application), short per-call timeout (partitions should cost a
+// retry, not a stall), heartbeat loop running against the broker's
+// lease.
+func (s *stack) joinResilient(ctx context.Context, i int, rcfg core.ResilientConfig) (*core.ResilientClient, error) {
+	cl, err := client.New(s.net, membership.NewPSE("", 0), user(i))
+	if err != nil {
+		return nil, err
+	}
+	s.onClose(func() { cl.Close() })
+	trust, err := s.dep.TrustStore()
+	if err != nil {
+		return nil, err
+	}
+	sc, err := core.NewSecureClient(cl, trust, core.WithReplayGuard(core.NewReplayGuard(time.Minute, 512)))
+	if err != nil {
+		return nil, err
+	}
+	cl.BindTelemetry(s.reg)
+	cl.SetTracer(s.tr)
+	sc.SetAuditor(s.aud)
+	sc.SetTimeout(500 * time.Millisecond)
+	rc := core.NewResilientClient(sc, s.br.PeerID(), pw(i), rcfg)
+	if err := rc.Connect(ctx); err != nil {
+		return nil, fmt.Errorf("%s connect: %w", user(i), err)
+	}
+	s.onClose(rc.Close)
+	return rc, nil
+}
+
+// churnRecorder counts opens per (recipient, sender, payload) so the
+// summary can convict both directions of failure: a slice that never
+// arrived and a slice that arrived twice.
+type churnRecorder struct {
+	mu    sync.Mutex
+	total int64
+	opens map[string]int
+}
+
+func newChurnRecorder() *churnRecorder {
+	return &churnRecorder{opens: make(map[string]int)}
+}
+
+func (c *churnRecorder) watch(recipient int, bus *events.Bus) {
+	bus.Subscribe(events.SecureMessage, func(e events.Event) {
+		key := fmt.Sprintf("%d|%s|%s", recipient, e.From, e.Data)
+		c.mu.Lock()
+		c.total++
+		c.opens[key]++
+		c.mu.Unlock()
+	})
+}
+
+func (c *churnRecorder) count() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}
+
+func (c *churnRecorder) opensOf(recipient int, from keys.PeerID, text string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.opens[fmt.Sprintf("%d|%s|%s", recipient, from, text)]
+}
+
+// partitionChurn is the liveness/resilience chaos scenario: the whole
+// population exchanges relayed rounds while the director flaps
+// partitions between clients and the broker, every client→broker
+// uplink drops 5% of its frames, one partition is held long enough for
+// the victims' presence leases to expire, and the relay is restarted
+// mid-traffic on its WAL. The contract is exactly-once eventual
+// delivery: every addressed slice arrives (resumed sessions drain
+// their queues), none arrives twice (idempotent resubmission upstream,
+// replay-guard collapse downstream), reconnect attempts stay inside
+// the backoff-derived storm bound, and the audit chain verifies clean
+// afterwards (CI runs `admin audit verify` on the journal).
+func partitionChurn(ctx context.Context, opt Options, profile simnet.LinkProfile) (*Summary, error) {
+	n := opt.Clients
+	if n <= 0 {
+		n = 6
+	}
+	if n < 4 {
+		n = 4
+	}
+	rounds := opt.Rounds
+	if rounds <= 0 {
+		rounds = 4
+	}
+	const (
+		leaseTTL = 2 * time.Second
+		lossRate = 0.05
+		flapDown = 700 * time.Millisecond // short flap: retries absorb it, no expiry
+		sendGap  = 900 * time.Millisecond // spreads rounds across the churn timeline
+	)
+	pol := backoff.Policy{Base: 25 * time.Millisecond, Cap: 400 * time.Millisecond}
+	// The retry budget must outlast the held partition: groupB is down
+	// for its lease TTL plus a sweep plus the relay restart (~3s), and a
+	// sender inside it keeps retrying the whole time. 25 attempts at
+	// this policy sleep ~4.4s on average — comfortably past the outage —
+	// while the 600ms attempt bound keeps a silently-lost frame (the 5%
+	// loss) from eating the deadline before the first retry fires.
+	rcfg := core.ResilientConfig{Backoff: pol, RetryBudget: 25, ResumeBudget: 8, Seed: 42,
+		AttemptTimeout: 600 * time.Millisecond}
+	sum := &Summary{Scenario: "partition-churn", Profile: opt.Profile, Clients: n, Rounds: rounds,
+		Drops: map[string]int64{}, Anomalies: []string{}}
+	relayCfg := core.RelayConfig{}
+	relayCfg.QueueCap = n*rounds*2 + 32
+	// Durable queues: the mid-traffic restart must find its backlog in
+	// the WAL and rebuild it.
+	walDir, err := os.MkdirTemp("", "partition-churn-wal-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(walDir)
+	relayCfg.WAL.Dir = walDir
+	s, err := newStack(n, profile, nil, relayCfg, leaseTTL, opt)
+	if err != nil {
+		return nil, err
+	}
+	defer s.close()
+	brNode := s.br.NodeID()
+
+	rec := newChurnRecorder()
+	rclients := make([]*core.ResilientClient, n)
+	// A client-side open that gives up on its sender lookup is a
+	// permanently lost message — the relay already retired the slice —
+	// so those alerts convict the run directly, with the reason in the
+	// anomaly instead of just a shortfall in the exactly-once audit.
+	var dropMu sync.Mutex
+	var droppedOpens []string
+	for i := 0; i < n; i++ {
+		if rclients[i], err = s.joinResilient(ctx, i, rcfg); err != nil {
+			return nil, err
+		}
+		rec.watch(i, rclients[i].Bus())
+		who := user(i)
+		rclients[i].Bus().Subscribe(events.SecurityAlert, func(e events.Event) {
+			if e.Payload["reason"] == core.ErrSenderUnknown.Error() {
+				dropMu.Lock()
+				droppedOpens = append(droppedOpens, fmt.Sprintf("%s dropped a slice from %s: %s", who, e.From, e.Payload["reason"]))
+				dropMu.Unlock()
+			}
+		})
+	}
+	node := func(i int) simnet.NodeID { return simnet.NodeID(rclients[i].PeerID()) }
+	// 5% loss on every client→broker uplink, one-way by design: a lost
+	// request or heartbeat is recoverable (timeout, retry under the
+	// idempotency key), a lost broker→client push would be a silent
+	// black hole no client policy could see.
+	lossy := profile
+	lossy.Loss = lossRate
+	for i := 0; i < n; i++ {
+		s.net.SetLinkOneWay(node(i), brNode, lossy)
+	}
+
+	// The victim sets: groupA rides two short flaps, groupB is held
+	// down past its lease TTL (expiry, queueing, resume).
+	third := n / 3
+	if third < 1 {
+		third = 1
+	}
+	var groupA, groupB []int
+	for i := 0; i < third; i++ {
+		groupA = append(groupA, i)
+	}
+	for i := third; i < 2*third; i++ {
+		groupB = append(groupB, i)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				text := fmt.Sprintf("round %d from %s", round, user(i))
+				if _, _, err := rclients[i].SendGroupRelay(ctx, "plenary", text); err != nil {
+					sum.anomaly("%s round %d: %v", user(i), round, err)
+				}
+				time.Sleep(sendGap)
+			}
+		}(i)
+	}
+
+	// The churn director. Flap 1: a short partition mid-traffic.
+	flap := func(victims []int, down time.Duration) {
+		for _, i := range victims {
+			s.net.Partition(node(i), brNode)
+		}
+		time.Sleep(down)
+		for _, i := range victims {
+			s.net.Heal(node(i), brNode)
+		}
+	}
+	time.Sleep(300 * time.Millisecond)
+	flap(groupA, flapDown)
+
+	// Flap 2: groupB is held down until its leases lapse — the broker
+	// takes the silent sessions' presence down and the relay flips to
+	// queueing for them.
+	expiredBefore := s.bs.LivenessStats().LeasesExpired
+	for _, i := range groupB {
+		s.net.Partition(node(i), brNode)
+	}
+	if !waitFor(ctx, 15*time.Second, func() bool {
+		return s.bs.LivenessStats().LeasesExpired >= expiredBefore+uint64(len(groupB))
+	}) {
+		sum.anomaly("held partition expired %d leases, want >= %d",
+			s.bs.LivenessStats().LeasesExpired-expiredBefore, len(groupB))
+	}
+
+	// Mid-traffic relay restart on the same WAL: the queued backlog —
+	// including the expired peers' slices — must survive into the
+	// recovered queues.
+	queuedAtRestart := s.rly.QueuedTotal()
+	s.rly.Close()
+	rly2, rerr := core.EnableBrokerRelay(s.br, relayCfg)
+	if rerr != nil {
+		sum.anomaly("relay restart: %v", rerr)
+	} else {
+		s.rly = rly2
+		s.onClose(rly2.Close)
+		sum.RelayRecovered = int64(rly2.Metrics().RecoveryReplayed)
+		if sum.RelayRecovered < int64(queuedAtRestart) {
+			sum.anomaly("restart recovered %d of %d queued slices", sum.RelayRecovered, queuedAtRestart)
+		}
+	}
+	for _, i := range groupB {
+		s.net.Heal(node(i), brNode)
+	}
+
+	// Flap 3: one more short partition while the expired peers resume
+	// and their queues drain.
+	flap(groupA, flapDown)
+	wg.Wait()
+
+	// Convergence: every addressed slice delivered, queues empty. The
+	// expired peers come back through their heartbeat loops (lease-lost
+	// triggers a background resume), not through any scenario nudge.
+	expected := int64(n*rounds) * int64(n-1)
+	waitFor(ctx, 90*time.Second, func() bool {
+		return rec.count() >= expected && s.rly.QueuedTotal() == 0
+	})
+	dur := time.Since(start)
+
+	sum.DurationSec = dur.Seconds()
+	if dur > 0 {
+		sum.RoundsPerSec = float64(n*rounds) / dur.Seconds()
+	}
+	sum.Delivered = rec.count()
+	sum.P50DeliveryMS, sum.P99DeliveryMS = deliveryQuantiles(opt.Registry)
+
+	// Exactly-once audit, both directions, per addressed slice.
+	var missing int64
+	for to := 0; to < n; to++ {
+		for from := 0; from < n; from++ {
+			if to == from {
+				continue
+			}
+			for round := 0; round < rounds; round++ {
+				text := fmt.Sprintf("round %d from %s", round, user(from))
+				switch got := rec.opensOf(to, rclients[from].PeerID(), text); {
+				case got == 0:
+					missing++
+					if missing <= 5 {
+						sum.anomaly("never delivered: %q to %s", text, user(to))
+					}
+				case got > 1:
+					sum.DuplicateOpens += int64(got - 1)
+				}
+			}
+		}
+	}
+	if missing > 0 {
+		sum.anomaly("%d of %d addressed slices never delivered", missing, expected)
+	}
+	dropMu.Lock()
+	for _, d := range droppedOpens {
+		sum.anomaly("%s", d)
+	}
+	dropMu.Unlock()
+	if sum.DuplicateOpens > 0 {
+		sum.anomaly("%d duplicate opens (exactly-once broken)", sum.DuplicateOpens)
+	}
+	if residual := s.rly.QueuedTotal(); residual != 0 {
+		sum.anomaly("%d slices still queued after convergence window", residual)
+	}
+
+	// Liveness evidence: the scenario must actually have exercised
+	// expiry and resume, and reconnects must stay inside the
+	// backoff-derived storm bound — per outage a client can fit at most
+	// MaxDelaysWithin(outage)+budget attempts, across 3 outages.
+	ls := s.bs.LivenessStats()
+	sum.HeartbeatsRenewed = int64(ls.HeartbeatsRenewed)
+	sum.LeasesExpired = int64(ls.LeasesExpired)
+	for _, rc := range rclients {
+		st := rc.Stats()
+		sum.Resumes += int64(st.Resumes)
+		sum.ResumeAttempts += int64(st.ResumeAttempts)
+		sum.Retries += int64(st.Retries)
+	}
+	sum.IdemDeduped = int64(s.br.Stats().IdemDeduped)
+	if sum.LeasesExpired == 0 {
+		sum.anomaly("no lease ever expired: the held partition proved nothing")
+	}
+	if sum.Resumes == 0 {
+		sum.anomaly("no session ever resumed")
+	}
+	if sum.HeartbeatsRenewed == 0 {
+		sum.anomaly("no heartbeat ever renewed a lease")
+	}
+	perOutage := int64(pol.MaxDelaysWithin(2*time.Second)) + int64(rcfg.ResumeBudget)
+	storm := int64(n) * 3 * perOutage
+	if sum.ResumeAttempts > storm {
+		sum.anomaly("reconnect storm: %d resume attempts exceed the backoff bound %d", sum.ResumeAttempts, storm)
+	}
+	finishChurn(sum, s)
+	return sum, nil
+}
+
+// finishChurn folds harness-wide evidence for a scenario whose network
+// is HOSTILE by design: frames dropped by injected loss and partitions
+// are the scenario working, so net-dropped is recorded as evidence but
+// not flagged, unlike finish. Relay losses, rate-limit refusals and
+// security alerts remain anomalies — churn never licenses shedding.
+func finishChurn(sum *Summary, s *stack) {
+	relayDrops(sum, s.rly.Metrics())
+	sum.Drops["net-dropped"] = int64(s.net.Stats().Dropped)
+	st := s.br.Stats()
+	sum.Drops["rate-limited"] = int64(st.OpsRateLimited)
+	if st.OpsRateLimited > 0 {
+		sum.anomaly("%d operations rate-limited", st.OpsRateLimited)
+	}
+	sum.Alerts = s.alerts.Load()
+	if sum.Alerts > 0 {
+		sum.anomaly("%d security alerts raised", sum.Alerts)
+	}
+	if s.aud != nil {
+		sum.AuditRecords = int64(s.aud.Stats().Records)
+	}
 }
 
 // finish folds the harness-wide evidence (relay losses, network drops,

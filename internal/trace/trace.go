@@ -55,13 +55,14 @@ const (
 	StageHandoff                // broker: federation hand-off to partner
 	StageDeliver                // broker: slice push to the recipient client
 	StageOpen                   // client: OpenSlice / envelope open + verify
+	StageResume                 // client: automatic session resume (reconnect + re-login)
 	stageCount
 )
 
 var stageNames = [stageCount]string{
 	"seal", "send", "admission", "parse", "verify", "publish",
 	"slice", "enqueue", "wal-append", "wal-fsync", "queue-wait",
-	"handoff", "deliver", "open",
+	"handoff", "deliver", "open", "resume",
 }
 
 func (s Stage) String() string {

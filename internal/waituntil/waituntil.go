@@ -1,0 +1,87 @@
+// Package waituntil replaces hand-rolled deadline/sleep polling loops
+// in tests and tools with one condition waiter. Two shapes:
+//
+//   - polled: True/Must re-check the condition on an adaptive interval
+//     (tight at first for fast conditions, backing off so a slow
+//     condition does not spin a core for its whole timeout);
+//   - event-driven: On re-checks only when the caller's signal channel
+//     fires, with a coarse fallback tick in case a signal was dropped.
+//
+// Both report false instead of panicking on timeout, so call sites can
+// fail with a message carrying the freshest state.
+package waituntil
+
+import "time"
+
+// pollFloor and pollCeil bound the adaptive polling interval.
+const (
+	pollFloor = time.Millisecond
+	pollCeil  = 16 * time.Millisecond
+)
+
+// True polls cond until it returns true or the timeout elapses,
+// reporting whether the condition was reached. cond runs on the
+// calling goroutine; it is never invoked again after True returns.
+func True(timeout time.Duration, cond func() bool) bool {
+	if cond() {
+		return true
+	}
+	deadline := time.Now().Add(timeout)
+	interval := pollFloor
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return cond()
+		}
+		if interval > remaining {
+			interval = remaining
+		}
+		time.Sleep(interval)
+		if cond() {
+			return true
+		}
+		if interval < pollCeil {
+			interval *= 2
+		}
+	}
+}
+
+// T is the slice of testing.TB that Must needs; taking an interface
+// keeps the package importable outside tests.
+type T interface {
+	Helper()
+	Fatalf(format string, args ...any)
+}
+
+// Must is True with a test failure on timeout.
+func Must(t T, timeout time.Duration, cond func() bool, format string, args ...any) {
+	t.Helper()
+	if !True(timeout, cond) {
+		t.Fatalf(format, args...)
+	}
+}
+
+// On waits event-driven: cond is re-checked every time signal fires
+// (e.g. an events.Collector notification channel), with a coarse
+// fallback tick so a coalesced or dropped signal cannot hang the wait.
+// Reports whether the condition was reached before the timeout.
+func On(signal <-chan struct{}, timeout time.Duration, cond func() bool) bool {
+	if cond() {
+		return true
+	}
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	fallback := time.NewTicker(pollCeil)
+	defer fallback.Stop()
+	for {
+		select {
+		case <-signal:
+		case <-fallback.C:
+		case <-deadline.C:
+			return cond()
+		}
+		if cond() {
+			return true
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package waituntil
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestTrueImmediate(t *testing.T) {
+	start := time.Now()
+	if !True(time.Second, func() bool { return true }) {
+		t.Fatal("immediate condition reported false")
+	}
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("immediate condition slept")
+	}
+}
+
+func TestTrueEventually(t *testing.T) {
+	var n atomic.Int32
+	ok := True(2*time.Second, func() bool { return n.Add(1) >= 4 })
+	if !ok {
+		t.Fatal("condition never reached")
+	}
+}
+
+func TestTrueTimesOut(t *testing.T) {
+	start := time.Now()
+	if True(30*time.Millisecond, func() bool { return false }) {
+		t.Fatal("unreachable condition reported true")
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("returned before the timeout: %v", elapsed)
+	}
+}
+
+func TestOnSignalDriven(t *testing.T) {
+	var flag atomic.Bool
+	sig := make(chan struct{}, 1)
+	go func() {
+		flag.Store(true)
+		sig <- struct{}{}
+	}()
+	if !On(sig, 2*time.Second, flag.Load) {
+		t.Fatal("signal-driven wait missed the condition")
+	}
+}
+
+func TestOnFallbackTick(t *testing.T) {
+	// No signal ever fires; the fallback tick must still observe the
+	// condition flipping.
+	var flag atomic.Bool
+	time.AfterFunc(20*time.Millisecond, func() { flag.Store(true) })
+	if !On(make(chan struct{}), 2*time.Second, flag.Load) {
+		t.Fatal("fallback tick never observed the condition")
+	}
+}
+
+type fakeT struct {
+	failed bool
+}
+
+func (f *fakeT) Helper()               {}
+func (f *fakeT) Fatalf(string, ...any) { f.failed = true }
+
+func TestMustFailsOnTimeout(t *testing.T) {
+	var f fakeT
+	Must(&f, 10*time.Millisecond, func() bool { return false }, "nope")
+	if !f.failed {
+		t.Fatal("Must did not fail the test on timeout")
+	}
+}

@@ -69,7 +69,7 @@ if [ -z "$current" ]; then
     current=$(mktemp --suffix=.json)
     trap 'rm -f "$current"' EXIT
     echo "bench_compare: running gated benchmarks (baseline: $baseline)"
-    BENCH="${BENCH:-BenchmarkVerifyTrusted|BenchmarkFanOutSecure|BenchmarkSignedAdvertisement|BenchmarkParseCold|BenchmarkOpenSlice|BenchmarkRelayDelivery|BenchmarkRelayDrainDurable|BenchmarkTelemetryOverhead|BenchmarkTraceOverhead|BenchmarkAuditOverhead}" \
+    BENCH="${BENCH:-BenchmarkVerifyTrusted|BenchmarkFanOutSecure|BenchmarkSignedAdvertisement|BenchmarkParseCold|BenchmarkOpenSlice|BenchmarkRelayDelivery|BenchmarkRelayDrainDurable|BenchmarkTelemetryOverhead|BenchmarkTraceOverhead|BenchmarkAuditOverhead|BenchmarkLivenessOverhead|BenchmarkIdemOverhead}" \
         BENCHTIME="${BENCHTIME:-1s}" BENCH_OUT="$current" ./scripts/bench.sh >/dev/null
 fi
 [ -r "$current" ] || { echo "bench_compare: unreadable current $current" >&2; exit 2; }
@@ -226,6 +226,21 @@ gate_ceiling_ns() {
     }' || fail=1
 }
 gate_ceiling_ns "BenchmarkTraceOverhead/read" "$trace_read_max" "Trace ring snapshot (4096 spans)"
+
+# Liveness and idempotency ceilings: what the session-resilience layer
+# costs the broker per event. "renew" is the heartbeat's bookkeeping
+# (every client pays it at TTL/3 cadence), "idem hit" is a retried
+# mutation answered from the dedup window — both absolute ceilings
+# with exactly zero allocations, same regime as the telemetry
+# instruments: keeping a fleet's sessions alive must not cost GC
+# pressure. "idem store" caches one acknowledged response; a map
+# insert allocates by design, so it gets a wall-clock ceiling only.
+lease_renew_max="${BENCH_LEASE_RENEW_MAX_NS:-1000}"
+idem_hit_max="${BENCH_IDEM_HIT_MAX_NS:-1000}"
+idem_store_max="${BENCH_IDEM_STORE_MAX_NS:-3000}"
+gate_ceiling "BenchmarkLivenessOverhead/renew" "$lease_renew_max" "Lease renew (heartbeat bookkeeping)"
+gate_ceiling "BenchmarkIdemOverhead/hit" "$idem_hit_max" "Idem dedup hit (retry fast path)"
+gate_ceiling_ns "BenchmarkIdemOverhead/store" "$idem_store_max" "Idem dedup store"
 
 # Audit journal ceilings: Record on the staged path is what every
 # offense, refusal and auth outcome pays inline — one encode into a
